@@ -1,0 +1,116 @@
+"""Experiment F1 -- tightness of the communication tools (Figure 1, Lemma 4.2).
+
+Figure 1 of the paper shows a gadget in which the round / congestion bounds
+of Lemma 4.2 are tight: with a sparse set ``Q`` of ``hat_delta`` nodes split
+into two fans joined by a single central edge ``{v, w}``,
+
+* a Broadcast from all of ``Q`` forces ``Theta(hat_delta)`` messages over the
+  central edge, and
+* a Q-message (individual messages between all pairs of ``Q`` nodes within
+  distance ``s``) forces ``Theta(hat_delta^2 / 4)`` messages over it.
+
+This benchmark builds the gadget for growing ``hat_delta``, routes both
+primitives along the BFS trees of Lemma 4.1, and records the measured
+central-edge congestion next to the two reference curves.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from harness import print_and_store
+from repro.core.comm_tools import broadcast_from_q, learn_distance_ids, q_message
+from repro.graphs import figure1_gadget
+
+EXPERIMENT_ID = "F1-figure1-congestion"
+HAT_DELTAS = (8, 16, 32, 64)
+S = 3
+
+
+def _central_edge(v, w):
+    return (v, w) if str(v) <= str(w) else (w, v)
+
+
+def run_gadget(hat_delta: int, s: int = S) -> dict[str, object]:
+    graph, (v, w), q_nodes = figure1_gadget(hat_delta=hat_delta, s=s)
+    tools = learn_distance_ids(graph, q_nodes, s)
+    central = _central_edge(v, w)
+
+    _, broadcast_congestion = broadcast_from_q(
+        tools, {node: 1 for node in q_nodes}, message_bits=8, track_congestion=True)
+
+    messages = {sender: {receiver: 1 for receiver in tools.q_neighborhoods[sender]}
+                for sender in q_nodes}
+    _, qmessage_congestion = q_message(tools, messages, message_bits=8,
+                                       track_congestion=True)
+
+    return {
+        "hat_delta": hat_delta,
+        "s": s,
+        "n": graph.number_of_nodes(),
+        "broadcast@{v,w}": broadcast_congestion.get(central, 0),
+        "expected~hat_delta": hat_delta,
+        "q_message@{v,w}": qmessage_congestion.get(central, 0),
+        "expected~hat_delta^2/4": hat_delta * hat_delta // 4,
+        "broadcast_rounds": tools.ledger.rounds_by_label().get("broadcast", 0),
+        "q_message_rounds": tools.ledger.rounds_by_label().get("q-message", 0),
+    }
+
+
+def experiment_rows(hat_deltas=HAT_DELTAS) -> list[dict[str, object]]:
+    return [run_gadget(hat_delta) for hat_delta in hat_deltas]
+
+
+# --------------------------------------------------------------------------
+# pytest entry points.
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("hat_delta", [16, 32])
+def test_congestion_matches_figure1(hat_delta):
+    row = run_gadget(hat_delta)
+    # Broadcast congestion is exactly hat_delta (every Q node's broadcast
+    # crosses the central edge once).
+    assert row["broadcast@{v,w}"] == hat_delta
+    # Q-message congestion is at least (hat_delta/2)^2: every left-fan node
+    # talks to every right-fan node across the central edge.
+    assert row["q_message@{v,w}"] >= (hat_delta // 2) ** 2
+
+
+def test_congestion_scaling_is_linear_vs_quadratic():
+    rows = experiment_rows(hat_deltas=(8, 32))
+    small, large = rows
+    factor = large["hat_delta"] / small["hat_delta"]
+    broadcast_growth = large["broadcast@{v,w}"] / max(1, small["broadcast@{v,w}"])
+    qmessage_growth = large["q_message@{v,w}"] / max(1, small["q_message@{v,w}"])
+    assert broadcast_growth == pytest.approx(factor, rel=0.2)
+    assert qmessage_growth == pytest.approx(factor ** 2, rel=0.3)
+
+
+def test_figure1_gadget_construction(benchmark):
+    graph, _, q_nodes = benchmark(lambda: figure1_gadget(hat_delta=64, s=3))
+    assert len(q_nodes) == 64
+
+
+def test_q_message_routing(benchmark):
+    graph, (v, w), q_nodes = figure1_gadget(hat_delta=32, s=3)
+    tools = learn_distance_ids(graph, q_nodes, 3)
+    messages = {sender: {receiver: 1 for receiver in tools.q_neighborhoods[sender]}
+                for sender in q_nodes}
+
+    def run():
+        return q_message(tools, messages, message_bits=8, track_congestion=True)
+
+    deliveries, congestion = benchmark(run)
+    assert congestion
+
+
+def main() -> None:
+    rows = experiment_rows()
+    print_and_store(EXPERIMENT_ID, rows,
+                    notes="Lemma 4.2 is tight: broadcast congestion ~ hat_delta, "
+                          "Q-message congestion ~ hat_delta^2 / 4 over the central edge.")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

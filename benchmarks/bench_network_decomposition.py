@@ -1,0 +1,94 @@
+"""Experiment E-ND -- network decompositions with separation (Theorem A.1).
+
+Theorem A.1 provides, for any ``k``, a network decomposition of ``G^k`` with
+``O(log n loglog n)`` colors, weak diameter ``O(k log n)`` in ``G`` and
+separation ``2k + 1``, in ``~O(k log^3 n)`` rounds.  The benchmark measures
+the colour count, the weak diameter, the Steiner congestion and the charged
+rounds of our decomposition across ``n`` and ``k`` (separation ``2k + 1``),
+and verifies every decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+
+import pytest
+
+from harness import delta_of, print_and_store
+from repro.decomposition import network_decomposition
+from repro.graphs import erdos_renyi_graph, random_regular_graph
+
+EXPERIMENT_ID = "E-ND-network-decomposition"
+
+
+def run_once(graph_name: str, graph, k: int, seed: int) -> dict[str, object]:
+    from repro.congest.cost import RoundLedger
+    ledger = RoundLedger()
+    decomposition = network_decomposition(graph, separation=2 * k + 1,
+                                          rng=random.Random(seed), ledger=ledger)
+    decomposition.validate(graph)
+    n = graph.number_of_nodes()
+    return {
+        "graph": graph_name,
+        "n": n,
+        "Delta": delta_of(graph),
+        "k": k,
+        "separation": 2 * k + 1,
+        "colors": decomposition.num_colors,
+        "ref O(log n loglog n)": round(math.log2(n) * math.log2(math.log2(n) + 1), 1),
+        "clusters": len(decomposition.clusters),
+        "max weak diameter": decomposition.max_weak_diameter,
+        "ref O(k log n)": round(k * math.log2(n), 1),
+        "steiner congestion": decomposition.steiner_congestion(),
+        "rounds charged": ledger.total_rounds,
+    }
+
+
+def experiment_rows() -> list[dict[str, object]]:
+    rows = []
+    for n in (80, 160, 320):
+        graph = random_regular_graph(n, 6, seed=n)
+        rows.append(run_once(f"regular(n={n})", graph, 1, seed=n))
+    for k in (1, 2, 3):
+        graph = erdos_renyi_graph(160, expected_degree=6, seed=50 + k)
+        rows.append(run_once(f"er(n=160)", graph, k, seed=50 + k))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# pytest entry points.
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("k", [1, 2])
+def test_decomposition_valid_for_power_separation(k):
+    graph = random_regular_graph(120, 6, seed=k)
+    row = run_once("regular", graph, k, seed=k)
+    assert row["colors"] >= 1
+    assert row["max weak diameter"] >= 0
+
+
+def test_diameter_grows_logarithmically():
+    small = run_once("regular", random_regular_graph(80, 6, seed=1), 1, seed=1)
+    large = run_once("regular", random_regular_graph(320, 6, seed=1), 1, seed=1)
+    # Weak diameter ~ log n: quadrupling n adds a constant number of hops.
+    assert large["max weak diameter"] <= small["max weak diameter"] + 14
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_decomposition_runtime(benchmark, k):
+    graph = random_regular_graph(160, 6, seed=3)
+    decomposition = benchmark(lambda: network_decomposition(graph, separation=2 * k + 1,
+                                                            rng=random.Random(3)))
+    assert decomposition.num_colors >= 1
+
+
+def main() -> None:
+    rows = experiment_rows()
+    print_and_store(EXPERIMENT_ID, rows,
+                    notes="Separation-(2k+1) weak-diameter decompositions (Theorem A.1 "
+                          "substitute): colors and diameters stay in the polylog regime.")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

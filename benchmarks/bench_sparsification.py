@@ -1,0 +1,90 @@
+"""Experiment E-SPARS -- the power-graph sparsification (Lemma 3.1 / 5.1).
+
+For every workload the benchmark runs the deterministic power-graph
+sparsification and records the two quality metrics that Lemma 3.1 bounds:
+
+* the maximum distance-``k`` ``Q``-degree (paper bound: ``72 log n``),
+* the worst domination excess ``dist(v, Q) - dist(v, Q_0)``
+  (paper bound: ``k^2 + k``),
+
+together with the charged CONGEST rounds (paper: ``O(diam * k log^2 n log D
++ k^2 log D)``, Lemma 3.1) -- so the scaling of rounds in ``n`` and ``k`` can
+be compared against the formula.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from harness import delta_of, mixed_workloads, print_and_store, regular_workloads
+from repro.core import check_power_sparsification, power_graph_sparsification
+from repro.core.events import degree_bound
+
+EXPERIMENT_ID = "E-SPARS-sparsification"
+
+
+def run_once(graph_name: str, graph, k: int) -> dict[str, object]:
+    result = power_graph_sparsification(graph, k)
+    check = check_power_sparsification(graph, set(graph.nodes()), result.q, k)
+    return {
+        "graph": graph_name,
+        "n": graph.number_of_nodes(),
+        "Delta": delta_of(graph),
+        "k": k,
+        "|Q|": check.q_size,
+        "max d_k(v,Q)": check.max_q_degree,
+        "bound 72 ln n": round(degree_bound(graph.number_of_nodes()), 1),
+        "max domination excess": check.max_domination,
+        "bound k^2+k": k * k + k,
+        "rounds": result.rounds,
+        "valid": check.ok,
+    }
+
+
+def experiment_rows() -> list[dict[str, object]]:
+    rows = []
+    for k in (1, 2, 3):
+        for graph_name, graph in mixed_workloads(150, seed=k):
+            rows.append(run_once(graph_name, graph, k))
+    for graph_name, graph in regular_workloads((80, 160, 320), degree=6, seed=5):
+        rows.append(run_once(graph_name, graph, 2))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# pytest entry points.
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_sparsification_bounds_hold(k):
+    name, graph = regular_workloads([120], degree=6, seed=k)[0]
+    row = run_once(name, graph, k)
+    assert row["valid"]
+    assert row["max d_k(v,Q)"] <= row["bound 72 ln n"]
+    assert row["max domination excess"] <= row["bound k^2+k"]
+
+
+def test_rounds_grow_mildly_with_n():
+    """Rounds are polylog in n (times diam): quadrupling n must not quadruple rounds."""
+    small = run_once(*regular_workloads([80], degree=6, seed=7)[0], k=2)
+    large = run_once(*regular_workloads([320], degree=6, seed=7)[0], k=2)
+    assert large["rounds"] / max(1, small["rounds"]) < 4
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_sparsification_runtime(benchmark, k):
+    name, graph = regular_workloads([120], degree=6, seed=1)[0]
+    result = benchmark(lambda: power_graph_sparsification(graph, k))
+    assert check_power_sparsification(graph, set(graph.nodes()), result.q, k).ok
+
+
+def main() -> None:
+    rows = experiment_rows()
+    print_and_store(EXPERIMENT_ID, rows,
+                    notes="Lemma 3.1: d_k(v, Q) <= 72 ln n and domination excess <= k^2 + k "
+                          "for every node; both hold on every workload.")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Experiment T1 -- the Table-1 landscape.
+
+The paper's Table 1 lists the round complexities of the known and the new
+algorithms for MIS and ruling sets on ``G`` and ``G^k``.  This benchmark runs
+every algorithm implemented in the library on a common workload sweep and
+reports measured CONGEST rounds next to the paper's formula, so the relative
+ordering of the rows ("who wins") can be compared against the table.
+
+Reproduced rows (all verified before timing):
+
+====================================  =====================================
+paper row                             implementation
+====================================  =====================================
+[Lub86] MIS of G^k, O(k log n)        ``repro.mis.luby.luby_mis_power``
+New MIS of G^k (Theorem 1.2)          ``repro.mis.power_mis.power_graph_mis``
+[SEW13/KMW18] (k+1, kc), O(kcn^{1/c}) ``repro.ruling.aglp.id_based_ruling_set``
+[AGLP89] (k+1, k log n), O(k log n)   ``repro.ruling.aglp.aglp_ruling_set`` (B=2)
+New (k+1, k^2) det. (Theorem 1.1)     ``repro.ruling.det_ruling_set``
+[Gha19]-style (k+1, k*beta) rand.     ``repro.mis.power_ruling``  (Corollary 1.3)
+[BEPS16/Gha16]-style MIS of G         ``repro.mis.shattering``  (Theorem 1.4)
+====================================  =====================================
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from harness import delta_of, print_and_store, regular_workloads, theory_rounds
+from repro.mis import luby_mis_power, power_graph_mis, power_graph_ruling_set, shattering_mis
+from repro.ruling import (
+    aglp_ruling_set,
+    deterministic_power_ruling_set,
+    id_based_ruling_set,
+    is_mis_of_power_graph,
+    verify_ruling_set,
+)
+
+EXPERIMENT_ID = "T1-table1-landscape"
+SIZES = (64, 128, 256)
+K = 2
+
+
+def _row(algorithm: str, graph_name: str, graph, k: int, rounds: int, valid: bool,
+         size: int, theory: float) -> dict[str, object]:
+    return {
+        "algorithm": algorithm,
+        "graph": graph_name,
+        "n": graph.number_of_nodes(),
+        "Delta": delta_of(graph),
+        "k": k,
+        "rounds": rounds,
+        "theory~": round(theory, 1),
+        "size": size,
+        "valid": valid,
+    }
+
+
+def experiment_rows(sizes=SIZES, k: int = K, seed: int = 1) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for graph_name, graph in regular_workloads(sizes, degree=6, seed=seed):
+        n = graph.number_of_nodes()
+        delta = delta_of(graph)
+        rng = random.Random(seed)
+
+        luby = luby_mis_power(graph, k, rng=rng)
+        rows.append(_row("Luby MIS of G^k [Lub86]", graph_name, graph, k, luby.rounds,
+                         is_mis_of_power_graph(graph, luby.mis, k), len(luby.mis),
+                         theory_rounds("luby-Gk", n=n, delta=delta, k=k)))
+
+        new_mis = power_graph_mis(graph, k, rng=rng)
+        rows.append(_row("New MIS of G^k (Thm 1.2)", graph_name, graph, k, new_mis.rounds,
+                         is_mis_of_power_graph(graph, new_mis.mis, k), len(new_mis.mis),
+                         theory_rounds("new-mis-Gk", n=n, delta=delta, k=k)))
+
+        baseline = id_based_ruling_set(graph, k, c=k)
+        report = verify_ruling_set(graph, baseline.ruling_set, k + 1, baseline.domination_bound)
+        rows.append(_row(f"(k+1, ck) det. [SEW13/KMW18] c={k}", graph_name, graph, k,
+                         baseline.rounds, report.ok, report.size,
+                         theory_rounds("aglp-baseline", n=n, delta=delta, k=k, c=k)))
+
+        aglp = aglp_ruling_set(graph, k, {node: index + 1 for index, node in
+                                          enumerate(sorted(graph.nodes()))}, base=2)
+        report = verify_ruling_set(graph, aglp.ruling_set, k + 1, aglp.domination_bound)
+        rows.append(_row("(k+1, k log n) det. [AGLP89]", graph_name, graph, k,
+                         aglp.rounds, report.ok, report.size,
+                         theory_rounds("aglp-logn", n=n, delta=delta, k=k)))
+
+        new_det = deterministic_power_ruling_set(graph, k)
+        report = verify_ruling_set(graph, new_det.ruling_set, k + 1, new_det.beta_bound)
+        rows.append(_row("New (k+1, k^2) det. (Thm 1.1)", graph_name, graph, k,
+                         new_det.rounds, report.ok, report.size,
+                         theory_rounds("new-det-ruling", n=n, delta=delta, k=k)))
+
+        ruling = power_graph_ruling_set(graph, k, beta=3, rng=rng)
+        report = verify_ruling_set(graph, ruling.ruling_set, ruling.alpha,
+                                   ruling.domination_bound)
+        rows.append(_row("New (k+1, k*beta) rand. (Cor 1.3, beta=3)", graph_name, graph, k,
+                         ruling.rounds, report.ok, report.size,
+                         theory_rounds("new-ruling-Gk", n=n, delta=delta, k=k, beta=3)))
+
+        shattering = shattering_mis(graph, rng=rng)
+        rows.append(_row("MIS of G via shattering (Thm 1.4)", graph_name, graph, 1,
+                         shattering.rounds, is_mis_of_power_graph(graph, shattering.mis, 1),
+                         len(shattering.mis),
+                         theory_rounds("ghaffari-mis-G", n=n, delta=delta)))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark entry points (one representative configuration each).
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload():
+    name, graph = regular_workloads([128], degree=6, seed=1)[0]
+    return graph
+
+
+def test_luby_power_mis(benchmark, workload):
+    result = benchmark(lambda: luby_mis_power(workload, K, rng=random.Random(1)))
+    assert is_mis_of_power_graph(workload, result.mis, K)
+
+
+def test_theorem_1_2_power_mis(benchmark, workload):
+    result = benchmark(lambda: power_graph_mis(workload, K, rng=random.Random(1)))
+    assert is_mis_of_power_graph(workload, result.mis, K)
+
+
+def test_theorem_1_1_det_ruling_set(benchmark, workload):
+    result = benchmark(lambda: deterministic_power_ruling_set(workload, K))
+    assert verify_ruling_set(workload, result.ruling_set, K + 1, result.beta_bound).ok
+
+
+def test_corollary_6_2_baseline(benchmark, workload):
+    result = benchmark(lambda: id_based_ruling_set(workload, K, c=K))
+    assert verify_ruling_set(workload, result.ruling_set, K + 1, result.domination_bound).ok
+
+
+def test_corollary_1_3_ruling_set(benchmark, workload):
+    result = benchmark(lambda: power_graph_ruling_set(workload, K, beta=3,
+                                                      rng=random.Random(1)))
+    assert verify_ruling_set(workload, result.ruling_set, result.alpha,
+                             result.domination_bound).ok
+
+
+def test_theorem_1_4_shattering(benchmark, workload):
+    result = benchmark(lambda: shattering_mis(workload, rng=random.Random(1)))
+    assert is_mis_of_power_graph(workload, result.mis, 1)
+
+
+def test_table1_round_ordering(workload):
+    """The qualitative content of Table 1 for k >= 2 at moderate n:
+    the new randomized MIS beats Luby once Delta^k >> log n, and the new
+    deterministic ruling set beats the n^{1/c} baseline asymptotically
+    (checked at larger n in bench_det_ruling_vs_baseline)."""
+    rows = experiment_rows(sizes=(256,), k=2, seed=3)
+    by_algorithm = {row["algorithm"]: row for row in rows}
+    assert all(row["valid"] for row in rows)
+    luby_rounds = by_algorithm["Luby MIS of G^k [Lub86]"]["rounds"]
+    new_rounds = by_algorithm["New MIS of G^k (Thm 1.2)"]["rounds"]
+    # Shape check: the shattering-based algorithm's rounds are dominated by
+    # O(k^2 log Delta loglog n) which is within a small factor of Luby here
+    # and wins as Delta grows (bench_power_mis sweeps Delta).
+    assert new_rounds <= 12 * luby_rounds
+
+
+def main() -> None:
+    rows = experiment_rows()
+    print_and_store(EXPERIMENT_ID, rows,
+                    notes="theory~ column: the paper's Table-1 formula with all constants = 1.")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

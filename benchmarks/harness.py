@@ -1,0 +1,119 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module in this directory regenerates one experiment from
+DESIGN.md's per-experiment index (the analogue of one of the paper's tables
+or figures).  The modules follow a common pattern:
+
+* an ``experiment_*()`` function runs the full parameter sweep, verifies the
+  algorithm outputs, and returns a list of result rows;
+* ``test_*`` functions expose representative configurations to
+  ``pytest-benchmark`` (so ``pytest benchmarks/ --benchmark-only`` both times
+  the algorithms and re-validates their outputs);
+* running the module directly (``python benchmarks/bench_xyz.py``) prints the
+  full sweep as a plain-text table and appends it to
+  ``benchmarks/results/<experiment>.txt`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Callable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.analysis.tables import format_table
+from repro.graphs import erdos_renyi_graph, random_regular_graph, unit_disk_graph
+from repro.graphs.properties import max_degree
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = [
+    "RESULTS_DIR",
+    "regular_workloads",
+    "er_workloads",
+    "mixed_workloads",
+    "print_and_store",
+    "polylog_bound",
+    "theory_rounds",
+]
+
+
+def regular_workloads(sizes: Sequence[int], degree: int = 4, *, seed: int = 1,
+                      ) -> list[tuple[str, nx.Graph]]:
+    """Random regular graphs of the given sizes (the Table-1 style workload)."""
+    return [(f"regular(n={n},d={degree})", random_regular_graph(n, degree, seed=seed))
+            for n in sizes]
+
+
+def er_workloads(sizes: Sequence[int], expected_degree: float = 6.0, *, seed: int = 1,
+                 ) -> list[tuple[str, nx.Graph]]:
+    return [(f"er(n={n},d~{expected_degree:g})",
+             erdos_renyi_graph(n, expected_degree=expected_degree, seed=seed))
+            for n in sizes]
+
+
+def mixed_workloads(n: int, *, seed: int = 1) -> list[tuple[str, nx.Graph]]:
+    """One graph per family at a fixed size (used by quality-focused experiments)."""
+    return [
+        (f"regular(n={n})", random_regular_graph(n, 6, seed=seed)),
+        (f"er(n={n})", erdos_renyi_graph(n, expected_degree=6.0, seed=seed)),
+        (f"udg(n={n})", unit_disk_graph(n, seed=seed)),
+    ]
+
+
+def print_and_store(experiment_id: str, rows: Sequence[Mapping[str, object]], *,
+                    columns: Sequence[str] | None = None,
+                    notes: str = "") -> str:
+    """Format the experiment table, print it, and persist it under results/."""
+    table = format_table(list(rows), columns=columns, title=f"[{experiment_id}]")
+    if notes:
+        table = f"{table}\n{notes}"
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    return table
+
+
+def polylog_bound(n: int, exponent: int = 2, scale: float = 1.0) -> float:
+    """A reference ``scale * log^exponent(n)`` curve for shape comparisons."""
+    return scale * (math.log2(max(2, n)) ** exponent)
+
+
+def theory_rounds(algorithm: str, *, n: int, delta: int, k: int = 1,
+                  beta: int = 2, c: int = 2) -> float:
+    """The paper's round-complexity formulas (Table 1), used as reference curves.
+
+    Constants are taken as 1; the experiments compare *shapes* (growth in
+    ``n``, ``delta``, ``k``), not absolute values.
+    """
+    log_n = math.log2(max(2, n))
+    log_d = math.log2(max(2, delta ** k))
+    loglog_n = math.log2(max(2.0, log_n))
+    formulas: dict[str, float] = {
+        # Deterministic ruling sets.
+        "new-det-ruling": (k ** 2) * (log_n ** 4) * log_d,
+        "aglp-baseline": k * c * (n ** (1.0 / c)),
+        "aglp-logn": k * log_n,
+        # Randomized MIS.
+        "luby-Gk": k * log_n,
+        "new-mis-Gk": (k ** 2) * log_d * loglog_n + (k ** 4) * (loglog_n ** 5),
+        "ghaffari-mis-G": log_d * loglog_n + loglog_n ** 5,
+        # Ruling sets.
+        "new-ruling-Gk": (beta * (k ** (1 + 1 / max(1, beta - 1)))
+                          * (log_d ** (1 / max(1, beta - 1)))
+                          + beta * k * loglog_n + (k ** 4) * (loglog_n ** 5)),
+        "ghaffari-ruling-Gk": (k ** 2) * loglog_n,
+        # Sparsification.
+        "sparsification": (k ** 2) * (log_n ** 4) * log_d,
+    }
+    if algorithm not in formulas:
+        raise KeyError(f"unknown reference formula {algorithm!r}")
+    return formulas[algorithm]
+
+
+def delta_of(graph: nx.Graph) -> int:
+    return max_degree(graph)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file only exists
+so that ``pip install -e .`` works in offline environments where the ``wheel``
+package (required for PEP 660 editable wheels) is unavailable and pip falls
+back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

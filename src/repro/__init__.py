@@ -1,0 +1,94 @@
+"""repro -- distributed symmetry breaking on power graphs via sparsification.
+
+A simulation-grade reproduction of
+
+    Yannic Maus, Saku Peltonen, Jara Uitto.
+    "Distributed Symmetry Breaking on Power Graphs via Sparsification."
+    PODC 2023 (arXiv:2302.06878).
+
+The library implements, on a CONGEST simulator / round-cost model:
+
+* the deterministic sparsification of power graphs (Lemma 3.1 / 5.1 / 5.8)
+  and the communication tools of Section 4;
+* the deterministic ``(k+1, k^2)``-ruling set of Theorem 1.1, plus the
+  AGLP-style baselines it improves upon (Theorem 6.1, Corollary 6.2);
+* the randomized MIS of ``G^k`` of Theorem 1.2 and the ``beta``-ruling sets
+  of Corollary 1.3 (shattering + ball graphs + network decomposition);
+* the revisited shattering MIS of ``G`` of Theorem 1.4;
+* the baselines used for comparison (Luby on ``G^k``, BeepingMIS, KP12).
+
+Quickstart
+----------
+>>> import networkx as nx
+>>> from repro import deterministic_power_ruling_set, verify_ruling_set
+>>> graph = nx.random_regular_graph(4, 60, seed=1)
+>>> result = deterministic_power_ruling_set(graph, k=2)
+>>> report = verify_ruling_set(graph, result.ruling_set, alpha=3, beta=result.beta_bound)
+>>> report.ok
+True
+"""
+
+from repro.congest import CongestNetwork, NodeAlgorithm, RoundLedger, Simulator
+from repro.core import (
+    check_power_sparsification,
+    check_sparsification,
+    det_sparsification,
+    power_graph_sparsification,
+    power_graph_sparsification_low_diameter,
+    randomized_sparsification,
+    verify_invariants,
+)
+from repro.decomposition import form_distance_k_ball_graph, network_decomposition
+from repro.graphs import power_graph
+from repro.mis import (
+    beeping_mis,
+    beeping_mis_power,
+    luby_mis,
+    luby_mis_power,
+    power_graph_mis,
+    power_graph_ruling_set,
+    shattering_mis,
+)
+from repro.ruling import (
+    aglp_ruling_set,
+    deterministic_power_ruling_set,
+    greedy_mis,
+    id_based_ruling_set,
+    is_mis_of_power_graph,
+    is_ruling_set,
+    verify_ruling_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CongestNetwork",
+    "NodeAlgorithm",
+    "RoundLedger",
+    "Simulator",
+    "aglp_ruling_set",
+    "beeping_mis",
+    "beeping_mis_power",
+    "check_power_sparsification",
+    "check_sparsification",
+    "det_sparsification",
+    "deterministic_power_ruling_set",
+    "form_distance_k_ball_graph",
+    "greedy_mis",
+    "id_based_ruling_set",
+    "is_mis_of_power_graph",
+    "is_ruling_set",
+    "luby_mis",
+    "luby_mis_power",
+    "network_decomposition",
+    "power_graph",
+    "power_graph_mis",
+    "power_graph_ruling_set",
+    "power_graph_sparsification",
+    "power_graph_sparsification_low_diameter",
+    "randomized_sparsification",
+    "shattering_mis",
+    "verify_invariants",
+    "verify_ruling_set",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Experiment support: metrics and table formatting for the benchmark harness."""
+
+from repro.analysis.metrics import (
+    AlgorithmRun,
+    mis_quality,
+    ruling_set_quality,
+    sparsification_quality,
+)
+from repro.analysis.tables import format_series, format_table, record_experiment
+
+__all__ = [
+    "AlgorithmRun",
+    "format_series",
+    "format_table",
+    "mis_quality",
+    "record_experiment",
+    "ruling_set_quality",
+    "sparsification_quality",
+]

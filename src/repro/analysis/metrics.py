@@ -1,0 +1,88 @@
+"""Quality metrics shared by the benchmark harness and EXPERIMENTS.md.
+
+Every benchmark first *verifies* the algorithm output (via the checkers in
+:mod:`repro.ruling.verify` / :mod:`repro.core.invariants`), then reports the
+round counts and the quality numbers through the helpers below so that the
+printed tables have a consistent shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.core.events import degree_bound
+from repro.core.invariants import check_power_sparsification
+from repro.ruling.verify import verify_ruling_set
+
+Node = Hashable
+
+__all__ = ["AlgorithmRun", "mis_quality", "ruling_set_quality", "sparsification_quality"]
+
+
+@dataclass
+class AlgorithmRun:
+    """One row of an experiment table."""
+
+    algorithm: str
+    graph_name: str
+    n: int
+    delta: int
+    k: int
+    rounds: int
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "algorithm": self.algorithm,
+            "graph": self.graph_name,
+            "n": self.n,
+            "Delta": self.delta,
+            "k": self.k,
+            "rounds": self.rounds,
+        }
+        row.update(self.extra)
+        return row
+
+
+def ruling_set_quality(graph: nx.Graph, subset: Iterable[Node], alpha: int,
+                       beta: int) -> dict[str, object]:
+    """Measured independence / domination / size of a ruling set, plus pass flags."""
+    report = verify_ruling_set(graph, subset, alpha, beta)
+    return {
+        "size": report.size,
+        "independence": report.independence,
+        "alpha": alpha,
+        "domination": report.domination,
+        "beta": beta,
+        "valid": report.ok,
+    }
+
+
+def mis_quality(graph: nx.Graph, subset: Iterable[Node], k: int,
+                targets: Iterable[Node] | None = None) -> dict[str, object]:
+    """Measured quality of a candidate MIS of ``G^k``."""
+    report = verify_ruling_set(graph, subset, alpha=k + 1, beta=k, targets=targets)
+    return {
+        "size": report.size,
+        "independence": report.independence,
+        "domination": report.domination,
+        "valid": report.ok,
+        "k": k,
+    }
+
+
+def sparsification_quality(graph: nx.Graph, q0: Iterable[Node], q: Iterable[Node],
+                           k: int) -> dict[str, object]:
+    """Measured quality of a power-graph sparsification against Lemma 3.1."""
+    check = check_power_sparsification(graph, set(q0), set(q), k)
+    return {
+        "q_size": check.q_size,
+        "max_q_degree": check.max_q_degree,
+        "degree_bound": round(degree_bound(graph.number_of_nodes()), 1),
+        "max_domination_excess": check.max_domination,
+        "domination_bound": k * k + k,
+        "valid": check.ok,
+    }

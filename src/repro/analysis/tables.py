@@ -1,0 +1,66 @@
+"""Plain-text table / series formatting for the benchmark harness.
+
+The benchmarks print the rows and series the paper's Table 1 and the derived
+experiments report; these helpers keep the formatting uniform and are also
+used to append measured results to EXPERIMENTS.md manually.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_series", "format_table", "record_experiment"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], *,
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+        for row in rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def cell(row: Mapping[str, object], column: str) -> str:
+        value = row.get(column, "")
+        if isinstance(value, float):
+            return f"{value:.3g}"
+        return str(value)
+
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(cell(row, column)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(" | ".join(cell(row, column).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs: Iterable[object], series: Mapping[str, Sequence[object]], *,
+                  title: str | None = None) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    xs = list(xs)
+    rows = []
+    for index, x in enumerate(xs):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title)
+
+
+def record_experiment(path: str, experiment_id: str, content: str) -> None:
+    """Append a formatted experiment block to a results file (e.g. EXPERIMENTS.md)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"\n## {experiment_id}\n\n```\n{content}\n```\n")

@@ -1,0 +1,177 @@
+"""BFS trees, spanning trees and leader election (Section 2 / Section 4).
+
+The paper's communication tools are built around BFS trees: a depth-``s`` BFS
+tree rooted at ``r`` contains every node in ``N^s(r)`` and each node knows its
+ancestor, its descendants, and the root's ID ("known in the distributed
+setting", Section 2).  Claim 5.6 additionally needs a *spanning* BFS tree for
+the global convergecasts, which is obtained via leader election in
+``O(diam(G))`` rounds (Lemma 4.3's discussion).
+
+This module provides a centralized construction of those trees (they carry
+enough bookkeeping to answer ancestor/descendant queries) and records the
+round cost of building them distributedly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.congest.network import CongestNetwork
+
+Node = Hashable
+
+__all__ = ["BFSTree", "build_bfs_tree", "build_spanning_bfs_tree", "elect_leader",
+           "extend_bfs_tree"]
+
+
+@dataclass
+class BFSTree:
+    """A distributedly known BFS tree of depth ``depth`` rooted at ``root``.
+
+    ``parent[v]`` is ``v``'s ancestor (``None`` for the root) and
+    ``children[v]`` the set of descendants -- exactly the local knowledge the
+    paper requires of a "known" BFS tree.  ``depth_of[v]`` is the tree (and
+    graph) distance from the root.
+    """
+
+    root: Node
+    depth: int
+    parent: dict[Node, Node | None] = field(default_factory=dict)
+    children: dict[Node, set[Node]] = field(default_factory=dict)
+    depth_of: dict[Node, int] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> set[Node]:
+        return set(self.parent)
+
+    def path_to_root(self, node: Node) -> list[Node]:
+        """The tree path ``node -> ... -> root``."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def edges(self) -> set[tuple[Node, Node]]:
+        """Tree edges as canonical (sorted-by-str) pairs."""
+        result = set()
+        for node, par in self.parent.items():
+            if par is None:
+                continue
+            edge = (node, par) if str(node) <= str(par) else (par, node)
+            result.add(edge)
+        return result
+
+    def subtree_nodes(self, node: Node) -> set[Node]:
+        """All nodes in the subtree rooted at ``node`` (including it)."""
+        result = {node}
+        frontier = deque([node])
+        while frontier:
+            current = frontier.popleft()
+            for child in self.children.get(current, ()):
+                if child not in result:
+                    result.add(child)
+                    frontier.append(child)
+        return result
+
+    def validate(self, graph: nx.Graph) -> None:
+        """Raise ``AssertionError`` unless this is a valid BFS tree of ``graph``."""
+        assert self.root in self.parent and self.parent[self.root] is None
+        for node, par in self.parent.items():
+            if par is None:
+                assert node == self.root
+                assert self.depth_of[node] == 0
+                continue
+            assert graph.has_edge(node, par), f"tree edge {node}-{par} not in graph"
+            assert self.depth_of[node] == self.depth_of[par] + 1
+        # BFS property: tree depth equals graph distance.
+        distances = nx.single_source_shortest_path_length(graph, self.root,
+                                                          cutoff=self.depth)
+        for node, depth in self.depth_of.items():
+            assert distances.get(node) == depth, (
+                f"node {node} at tree depth {depth} but graph distance {distances.get(node)}")
+
+
+def build_bfs_tree(graph: nx.Graph, root: Node, depth: int) -> BFSTree:
+    """Construct a depth-``depth`` BFS tree rooted at ``root``.
+
+    Distributedly this costs ``depth`` rounds (each level is discovered in
+    one round); callers charge that to their ledger.
+    """
+    tree = BFSTree(root=root, depth=depth)
+    tree.parent[root] = None
+    tree.children[root] = set()
+    tree.depth_of[root] = 0
+    frontier = deque([root])
+    while frontier:
+        node = frontier.popleft()
+        level = tree.depth_of[node]
+        if level == depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in tree.parent:
+                tree.parent[neighbor] = node
+                tree.children.setdefault(node, set()).add(neighbor)
+                tree.children.setdefault(neighbor, set())
+                tree.depth_of[neighbor] = level + 1
+                frontier.append(neighbor)
+    return tree
+
+
+def extend_bfs_tree(graph: nx.Graph, tree: BFSTree, extra_depth: int = 1) -> BFSTree:
+    """Extend a BFS tree by ``extra_depth`` levels (Lemma 4.1, second part).
+
+    Nodes at distance ``depth + 1`` from the root attach to an arbitrary
+    already-included neighbor at depth ``depth`` (the paper: "one such
+    neighbor is chosen arbitrarily").  The input tree is not modified.
+    """
+    extended = BFSTree(root=tree.root, depth=tree.depth + extra_depth,
+                       parent=dict(tree.parent),
+                       children={node: set(children) for node, children in tree.children.items()},
+                       depth_of=dict(tree.depth_of))
+    frontier = deque(node for node, depth in extended.depth_of.items() if depth == tree.depth)
+    while frontier:
+        node = frontier.popleft()
+        level = extended.depth_of[node]
+        if level == extended.depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in extended.parent:
+                extended.parent[neighbor] = node
+                extended.children.setdefault(node, set()).add(neighbor)
+                extended.children.setdefault(neighbor, set())
+                extended.depth_of[neighbor] = level + 1
+                frontier.append(neighbor)
+    return extended
+
+
+def elect_leader(network: CongestNetwork, candidates: Iterable[Node] | None = None) -> Node:
+    """Leader election: the candidate with the smallest identifier wins.
+
+    Distributedly this is the classic flooding of BFS tokens where only the
+    smallest-root token survives; it costs ``O(diam(G))`` rounds (Lemma 4.3's
+    discussion).  Centralized, we simply return the minimum-ID candidate.
+    """
+    if candidates is None:
+        candidates = list(network.nodes())
+    else:
+        candidates = list(candidates)
+    if not candidates:
+        raise ValueError("leader election requires at least one candidate")
+    return min(candidates, key=network.node_id)
+
+
+def build_spanning_bfs_tree(network: CongestNetwork,
+                            root: Node | None = None) -> BFSTree:
+    """A spanning BFS tree rooted at the elected leader (or ``root``).
+
+    Used by the global aggregation of Claim 5.6 / Lemma 4.3.  For a
+    disconnected communication graph the tree spans the root's component only
+    (the paper assumes a connected ``G``).
+    """
+    if root is None:
+        root = elect_leader(network)
+    return build_bfs_tree(network.graph, root, depth=network.n)

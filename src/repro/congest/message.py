@@ -1,0 +1,85 @@
+"""Messages and bit-size accounting for the CONGEST simulator.
+
+CONGEST restricts every message to ``O(log n)`` bits.  The simulator measures
+message sizes explicitly so that experiments can (a) verify that algorithms
+respect the bandwidth and (b) report congestion (messages per edge) for the
+Figure-1 experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+Node = Hashable
+
+__all__ = ["DEFAULT_BANDWIDTH_BITS", "Message", "id_bits", "message_bits"]
+
+#: Default bandwidth: Theta(log n) bits with a comfortable constant.  The
+#: simulator scales this with the actual network size (see
+#: :class:`repro.congest.network.CongestNetwork`).
+DEFAULT_BANDWIDTH_BITS = 64
+
+
+def id_bits(n: int) -> int:
+    """Number of bits of a unique identifier in an ``n``-node network."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def message_bits(payload: Any) -> int:
+    """Conservative bit-size estimate of a message payload.
+
+    The estimate only needs to be *consistent* (the same payload always costs
+    the same) and of the right order of magnitude:
+
+    * ``None`` / booleans cost 1 bit (a beep);
+    * integers cost their binary length;
+    * floats cost 32 bits (algorithms only send O(log n)-bit precision
+      values; the paper's algorithms never send real numbers wider than
+      that);
+    * strings cost 8 bits per character;
+    * tuples / lists / sets / dicts cost the sum of their items.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1  # + sign bit
+    if isinstance(payload, float):
+        return 32
+    if isinstance(payload, str):
+        return 8 * max(1, len(payload))
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(message_bits(item) for item in payload) + 1
+    if isinstance(payload, dict):
+        return sum(message_bits(k) + message_bits(v) for k, v in payload.items()) + 1
+    # Fallback: repr length in bytes.
+    return 8 * max(1, len(repr(payload)))
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Node identifiers (graph nodes, not CONGEST IDs).
+    payload:
+        Arbitrary (picklable) content.  Its size in bits is computed by
+        :func:`message_bits` unless ``size_override`` is given.
+    size_override:
+        Explicit size in bits; used when a payload is a compact encoding
+        whose Python representation is larger than its bit content.
+    """
+
+    sender: Node
+    receiver: Node
+    payload: Any
+    size_override: int | None = field(default=None, compare=False)
+
+    @property
+    def size_bits(self) -> int:
+        if self.size_override is not None:
+            return self.size_override
+        return message_bits(self.payload)

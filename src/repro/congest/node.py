@@ -1,0 +1,95 @@
+"""Per-node algorithm interface for the message-passing simulator.
+
+Algorithms for the simulator are written as subclasses of
+:class:`NodeAlgorithm`.  One instance is created per node; the scheduler
+drives all instances in lockstep through synchronous rounds:
+
+1. :meth:`NodeAlgorithm.initialize` is called once before round 1;
+2. every round, :meth:`NodeAlgorithm.send` produces the outgoing messages
+   (a mapping ``neighbor -> payload``) based purely on local state;
+3. the scheduler delivers messages and calls :meth:`NodeAlgorithm.receive`
+   with the inbox (a mapping ``neighbor -> payload``);
+4. a node may declare itself finished by calling :meth:`halt`; the simulation
+   stops when every node has halted (or a round limit is hit).
+
+Local computation is unbounded, exactly as in the CONGEST model; only
+communication is restricted (the scheduler enforces per-edge bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+Node = Hashable
+
+__all__ = ["NodeAlgorithm"]
+
+
+class NodeAlgorithm:
+    """Base class for per-node CONGEST algorithms.
+
+    Subclasses typically override :meth:`initialize`, :meth:`send` and
+    :meth:`receive`.  The attributes below are populated by the simulator
+    before :meth:`initialize` runs:
+
+    ``node``
+        this node's graph label;
+    ``node_id``
+        this node's unique O(log n)-bit identifier;
+    ``neighbors``
+        tuple of neighboring graph labels;
+    ``neighbor_ids``
+        mapping ``neighbor -> identifier`` (knowledge of the IDs of one's
+        neighbors after a single round is standard; algorithms that must not
+        rely on it simply ignore the attribute);
+    ``n``
+        the number of nodes (global knowledge of ``n`` -- standard in the
+        paper's algorithms);
+    ``rng``
+        a per-node :class:`random.Random` seeded from the simulation seed and
+        the node ID, so randomized algorithms are reproducible.
+    """
+
+    def __init__(self) -> None:
+        self.node: Node = None
+        self.node_id: int = -1
+        self.neighbors: tuple[Node, ...] = ()
+        self.neighbor_ids: dict[Node, int] = {}
+        self.n: int = 0
+        self.rng = None  # type: ignore[assignment]
+        self._halted = False
+        self.output: Any = None
+
+    # ------------------------------------------------------------ lifecycle
+    def initialize(self) -> None:
+        """Called once before the first round."""
+
+    def send(self, round_number: int) -> Mapping[Node, Any]:
+        """Return the messages to send this round (``neighbor -> payload``).
+
+        Returning an empty mapping (the default) sends nothing.  A payload of
+        ``...`` (Ellipsis) broadcasts nothing; use ``None`` for a 1-bit beep.
+        """
+        return {}
+
+    def receive(self, round_number: int, inbox: Mapping[Node, Any]) -> None:
+        """Process the messages received this round."""
+
+    def finalize(self) -> None:
+        """Called once after the simulation stops."""
+
+    # --------------------------------------------------------------- control
+    def halt(self, output: Any = None) -> None:
+        """Mark this node as finished (optionally recording its output)."""
+        self._halted = True
+        if output is not None:
+            self.output = output
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    # -------------------------------------------------------------- helpers
+    def broadcast(self, payload: Any) -> dict[Node, Any]:
+        """Convenience: the same payload to every neighbor."""
+        return {neighbor: payload for neighbor in self.neighbors}

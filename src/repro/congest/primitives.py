@@ -1,0 +1,164 @@
+"""Basic distributed primitives implemented on the message-passing simulator.
+
+These are the textbook building blocks (flooding, BFS layering, leader
+election by ID flooding, convergecast of a sum) that the paper takes for
+granted.  They serve two purposes in the reproduction:
+
+* they validate the simulator itself (their round counts have well-known
+  closed forms -- e.g. flooding completes in ``ecc(source)`` rounds -- which
+  the unit tests check against the graph-theoretic quantities);
+* they are the concrete counterparts of the analytic charges in
+  :class:`repro.congest.cost.RoundLedger` (Lemma 4.3 convergecast,
+  leader election, BFS-tree construction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from repro.congest.node import NodeAlgorithm
+
+Node = Hashable
+
+__all__ = [
+    "BFSLayering",
+    "ConvergecastSum",
+    "FloodingBroadcast",
+    "LeaderElection",
+]
+
+
+class FloodingBroadcast(NodeAlgorithm):
+    """The source floods a value; every node halts once it has learned it.
+
+    Completes in ``ecc(source)`` communication rounds; the output of every
+    node is the broadcast value.
+    """
+
+    def __init__(self, is_source: bool = False, value: Any = None) -> None:
+        super().__init__()
+        self.is_source = is_source
+        self.value = value if is_source else None
+        self._pending_send = is_source
+
+    def send(self, round_number: int) -> Mapping[Node, Any]:
+        if self._pending_send and self.value is not None:
+            self._pending_send = False
+            return self.broadcast(self.value)
+        return {}
+
+    def receive(self, round_number: int, inbox: Mapping[Node, Any]) -> None:
+        if self.value is None and inbox:
+            self.value = next(iter(inbox.values()))
+            self._pending_send = True
+        if self.value is not None and not self._pending_send:
+            self.halt(self.value)
+        elif self.value is not None and self._pending_send:
+            # Halt after forwarding once.
+            pass
+
+    def finalize(self) -> None:
+        if self.value is not None:
+            self.halt(self.value)
+
+
+class BFSLayering(NodeAlgorithm):
+    """Every node learns its BFS distance from the source.
+
+    The source starts at distance 0; a node adopts ``1 + min`` of the
+    distances it hears.  Output: the distance (or ``None`` if unreachable).
+    """
+
+    def __init__(self, is_source: bool = False) -> None:
+        super().__init__()
+        self.is_source = is_source
+        self.distance: int | None = 0 if is_source else None
+        self._announce = is_source
+
+    def send(self, round_number: int) -> Mapping[Node, Any]:
+        if self._announce:
+            self._announce = False
+            return self.broadcast(self.distance)
+        return {}
+
+    def receive(self, round_number: int, inbox: Mapping[Node, Any]) -> None:
+        if self.distance is None and inbox:
+            self.distance = 1 + min(inbox.values())
+            self._announce = True
+        if self.distance is not None and not self._announce:
+            self.halt(self.distance)
+
+    def finalize(self) -> None:
+        self.halt(self.distance)
+
+
+class LeaderElection(NodeAlgorithm):
+    """Flood the maximum ID; the node holding it becomes the leader.
+
+    Runs for ``rounds_budget`` rounds (callers pass an upper bound on the
+    diameter, or ``n``).  Output: ``True`` for the leader, ``False``
+    otherwise.
+    """
+
+    def __init__(self, rounds_budget: int) -> None:
+        super().__init__()
+        self.rounds_budget = rounds_budget
+        self.best_id = -1
+        self._dirty = True
+
+    def initialize(self) -> None:
+        self.best_id = self.node_id
+
+    def send(self, round_number: int) -> Mapping[Node, Any]:
+        if self._dirty:
+            self._dirty = False
+            return self.broadcast(self.best_id)
+        return {}
+
+    def receive(self, round_number: int, inbox: Mapping[Node, Any]) -> None:
+        for value in inbox.values():
+            if value > self.best_id:
+                self.best_id = value
+                self._dirty = True
+        if round_number >= self.rounds_budget:
+            self.halt(self.best_id == self.node_id)
+
+
+class ConvergecastSum(NodeAlgorithm):
+    """Sum a per-node integer up a precomputed BFS tree.
+
+    Each node is given its parent (``None`` for the root), its children and
+    its local value.  Leaves send immediately; internal nodes send once all
+    children have reported.  The root's output is the global sum; everyone
+    else outputs ``None``.  Completes in ``depth(tree)`` rounds.
+    """
+
+    def __init__(self, parent: Node | None, children: set[Node], value: int) -> None:
+        super().__init__()
+        self.parent = parent
+        self.children = set(children)
+        self.value = value
+        self._received_from: dict[Node, int] = {}
+        self._sent = False
+
+    def send(self, round_number: int) -> Mapping[Node, Any]:
+        ready = set(self._received_from) >= self.children
+        if ready and not self._sent and self.parent is not None:
+            self._sent = True
+            total = self.value + sum(self._received_from.values())
+            return {self.parent: total}
+        return {}
+
+    def receive(self, round_number: int, inbox: Mapping[Node, Any]) -> None:
+        for sender, value in inbox.items():
+            if sender in self.children:
+                self._received_from[sender] = value
+        done_children = set(self._received_from) >= self.children
+        if self.parent is None and done_children:
+            self.halt(self.value + sum(self._received_from.values()))
+        elif self.parent is not None and self._sent:
+            self.halt(None)
+
+    def finalize(self) -> None:
+        if self.parent is None and not self.halted:
+            self.halt(self.value + sum(self._received_from.values()))

@@ -1,0 +1,161 @@
+"""The synchronous CONGEST scheduler.
+
+The simulator drives one :class:`~repro.congest.node.NodeAlgorithm` instance
+per node through synchronous rounds, delivering messages between neighbors
+and enforcing the per-edge per-round bandwidth of the CONGEST model.  It also
+records the statistics the experiments need: total rounds, total messages,
+total bits, and per-edge message counts (congestion).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping, Type
+
+from repro.congest.message import Message, message_bits
+from repro.congest.network import CongestNetwork
+from repro.congest.node import NodeAlgorithm
+
+Node = Hashable
+
+__all__ = ["BandwidthExceededError", "SimulationResult", "Simulator"]
+
+
+class BandwidthExceededError(RuntimeError):
+    """Raised when a message exceeds the per-edge per-round bandwidth."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run."""
+
+    rounds: int
+    total_messages: int
+    total_bits: int
+    outputs: dict[Node, Any]
+    halted: bool
+    edge_message_counts: dict[tuple[Node, Node], int] = field(default_factory=dict)
+
+    def max_edge_congestion(self) -> int:
+        """The maximum number of messages carried by any single edge."""
+        if not self.edge_message_counts:
+            return 0
+        return max(self.edge_message_counts.values())
+
+
+class Simulator:
+    """Run a per-node algorithm on a :class:`CongestNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The communication network.
+    algorithm_factory:
+        Either a :class:`NodeAlgorithm` subclass or a callable
+        ``node -> NodeAlgorithm`` (the latter allows per-node inputs).
+    seed:
+        Seed for the per-node random generators.
+    enforce_bandwidth:
+        When true (the default), a message larger than the network bandwidth
+        raises :class:`BandwidthExceededError`.  Experiments that only want to
+        *measure* congestion (Figure 1) set this to ``False``.
+    """
+
+    def __init__(self, network: CongestNetwork,
+                 algorithm_factory: Type[NodeAlgorithm] | Callable[[Node], NodeAlgorithm],
+                 *, seed: int = 0, enforce_bandwidth: bool = True) -> None:
+        self.network = network
+        self.seed = seed
+        self.enforce_bandwidth = enforce_bandwidth
+        self.nodes: dict[Node, NodeAlgorithm] = {}
+        for node in network.nodes():
+            instance = self._instantiate(algorithm_factory, node)
+            self._bind(instance, node)
+            self.nodes[node] = instance
+
+    # ------------------------------------------------------------ plumbing
+    @staticmethod
+    def _instantiate(factory: Type[NodeAlgorithm] | Callable[[Node], NodeAlgorithm],
+                     node: Node) -> NodeAlgorithm:
+        if isinstance(factory, type) and issubclass(factory, NodeAlgorithm):
+            return factory()
+        instance = factory(node)
+        if not isinstance(instance, NodeAlgorithm):
+            raise TypeError("algorithm_factory must produce NodeAlgorithm instances")
+        return instance
+
+    def _bind(self, instance: NodeAlgorithm, node: Node) -> None:
+        network = self.network
+        instance.node = node
+        instance.node_id = network.node_id(node)
+        instance.neighbors = tuple(network.neighbors(node))
+        instance.neighbor_ids = {nbr: network.node_id(nbr) for nbr in instance.neighbors}
+        instance.n = network.n
+        instance.rng = random.Random(f"{self.seed}:{network.node_id(node)}")
+
+    # ----------------------------------------------------------------- run
+    def run(self, max_rounds: int = 10_000) -> SimulationResult:
+        """Run until every node halts or ``max_rounds`` is reached."""
+        for instance in self.nodes.values():
+            instance.initialize()
+
+        total_messages = 0
+        total_bits = 0
+        edge_counts: dict[tuple[Node, Node], int] = {}
+        rounds = 0
+
+        for round_number in range(1, max_rounds + 1):
+            if all(instance.halted for instance in self.nodes.values()):
+                break
+            rounds = round_number
+
+            # Collect outgoing messages.
+            inboxes: dict[Node, dict[Node, Any]] = {node: {} for node in self.nodes}
+            edge_load: dict[tuple[Node, Node], int] = {}
+            any_message = False
+            for node, instance in self.nodes.items():
+                if instance.halted:
+                    continue
+                outbox = instance.send(round_number) or {}
+                for neighbor, payload in outbox.items():
+                    if payload is Ellipsis:
+                        continue
+                    if not self.network.has_edge(node, neighbor):
+                        raise ValueError(
+                            f"node {node!r} attempted to send to non-neighbor {neighbor!r}")
+                    size = message_bits(payload)
+                    key = (node, neighbor) if str(node) <= str(neighbor) else (neighbor, node)
+                    edge_load[key] = edge_load.get(key, 0) + size
+                    if self.enforce_bandwidth and size > self.network.bandwidth_bits:
+                        raise BandwidthExceededError(
+                            f"message of {size} bits from {node!r} to {neighbor!r} exceeds "
+                            f"bandwidth {self.network.bandwidth_bits}")
+                    inboxes[neighbor][node] = payload
+                    edge_counts[key] = edge_counts.get(key, 0) + 1
+                    total_messages += 1
+                    total_bits += size
+                    any_message = True
+
+            # Deliver.
+            for node, instance in self.nodes.items():
+                if instance.halted:
+                    continue
+                instance.receive(round_number, inboxes[node])
+
+            if not any_message and all(inst.halted for inst in self.nodes.values()):
+                break
+
+        for instance in self.nodes.values():
+            instance.finalize()
+
+        outputs = {node: instance.output for node, instance in self.nodes.items()}
+        halted = all(instance.halted for instance in self.nodes.values())
+        return SimulationResult(
+            rounds=rounds,
+            total_messages=total_messages,
+            total_bits=total_bits,
+            outputs=outputs,
+            halted=halted,
+            edge_message_counts=edge_counts,
+        )

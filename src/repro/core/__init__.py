@@ -1,0 +1,68 @@
+"""The paper's primary contribution: sparsification of power graphs.
+
+Modules
+-------
+``events``
+    The per-stage event system (the indicator variables ``Phi_v`` and
+    ``Psi_v`` of Lemma 5.5, their exact conditional expectations, and the
+    bookkeeping of active distance-``s`` neighborhoods).
+``sampling``
+    Algorithm 1 -- randomized sparsification via sampling (Section 5.1).
+``derandomize``
+    Claim 5.6 -- derandomizing one stage: bit-by-bit fixing of a k-wise
+    independent seed, and an exact per-variable conditional-expectation
+    variant used as the fast default in simulation.
+``detsparsify``
+    Algorithm 2 -- DetSparsification (Lemma 5.1), the single-graph
+    deterministic sparsification.
+``comm_tools``
+    Section 4 -- the communication tools (Lemmas 4.1, 4.2, 4.3, 4.6) used to
+    run algorithms on sparse subsets of power graphs.
+``power_sparsify``
+    Algorithm 3 / Lemma 3.1 -- iterated sparsification on ``G^s`` with the
+    invariants I1.1, I1.2, I2, I3, and the network-decomposition variant of
+    Lemma 5.8 that removes the diameter dependency.
+``invariants``
+    Executable checkers for all of the above.
+"""
+
+from repro.core.comm_tools import (
+    CommunicationTools,
+    broadcast_from_q,
+    learn_distance_ids,
+    q_message,
+    simulate_on_power_subgraph,
+)
+from repro.core.detsparsify import DetSparsificationResult, det_sparsification
+from repro.core.events import SparsificationStageEvents, degree_bound, sampling_probability
+from repro.core.invariants import (
+    check_power_sparsification,
+    check_sparsification,
+    verify_invariants,
+)
+from repro.core.power_sparsify import (
+    PowerSparsificationResult,
+    power_graph_sparsification,
+    power_graph_sparsification_low_diameter,
+)
+from repro.core.sampling import randomized_sparsification
+
+__all__ = [
+    "CommunicationTools",
+    "DetSparsificationResult",
+    "PowerSparsificationResult",
+    "SparsificationStageEvents",
+    "broadcast_from_q",
+    "check_power_sparsification",
+    "check_sparsification",
+    "degree_bound",
+    "det_sparsification",
+    "learn_distance_ids",
+    "power_graph_sparsification",
+    "power_graph_sparsification_low_diameter",
+    "q_message",
+    "randomized_sparsification",
+    "sampling_probability",
+    "simulate_on_power_subgraph",
+    "verify_invariants",
+]

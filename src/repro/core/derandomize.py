@@ -1,0 +1,215 @@
+"""Derandomizing one sparsification stage (Section 5.2, Claim 5.6).
+
+The paper derandomizes the sampling of one stage with the method of
+conditional expectations applied to the ``gamma = Theta(log^2 n)`` random
+bits that select an ``8 log n``-wise independent hash function: the bits are
+fixed one by one, each time choosing the value that minimises the expected
+number of bad events ``sum_v Phi_v + Psi_v``, where the per-node conditional
+expectations are aggregated at a leader via a convergecast over a spanning
+BFS tree (Claim 5.6).  Because no event has probability more than ``1/n^3``,
+the initial expectation is below 1 and the final (fully determined) seed
+makes no event occur.
+
+This module implements two derandomizers for one stage:
+
+:func:`derandomize_stage_seed_bits`
+    The faithful bit-by-bit procedure.  Exact conditional expectations over
+    a ``2^{gamma}``-sized seed space are not computable on real hardware
+    (the paper's nodes have unbounded local computation), so conditional
+    expectations are *estimated* by averaging over random completions of the
+    current prefix (exact enumeration is used automatically once the number
+    of remaining bits is small).  The resulting sampled set is verified
+    against the events and repaired with
+    :func:`derandomize_stage_per_variable` in the (rare) case a bad event
+    survived the estimation error.
+
+:func:`derandomize_stage_per_variable`
+    An exact derandomizer that applies the method of conditional
+    expectations directly to the per-node sampling decisions ``X_v`` (in ID
+    order), using closed-form conditional expectations (a binomial tail for
+    ``Psi`` and a product for ``Phi``).  It is deterministic, runs in
+    ``O(sum_v d_s(v, H_i))`` time, and provably ends with zero bad events
+    whenever the initial expectation is below 1 -- which Lemma 5.4's bounds
+    guarantee.  It is the default used inside DetSparsification; the
+    experiments charge rounds according to the paper's seed-bit procedure
+    either way (see DESIGN.md, substitution 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.core.events import SparsificationStageEvents
+from repro.hashing.kwise import KWiseHashFamily, KWiseHashFunction
+from repro.hashing.seeds import BitSeed
+
+Node = Hashable
+
+__all__ = [
+    "DerandomizationOutcome",
+    "derandomize_stage_per_variable",
+    "derandomize_stage_seed_bits",
+]
+
+
+@dataclass
+class DerandomizationOutcome:
+    """The sampled set chosen by a derandomizer, plus diagnostics."""
+
+    sampled: set[Node]
+    method: str
+    seed: BitSeed | None = None
+    repaired: bool = False
+    bits_fixed: int = 0
+    residual_phi: set[Node] = field(default_factory=set)
+    residual_psi: set[Node] = field(default_factory=set)
+
+    @property
+    def clean(self) -> bool:
+        """True iff no bad event occurs for the chosen sampled set."""
+        return not self.residual_phi and not self.residual_psi
+
+
+# --------------------------------------------------------------------------
+# Exact per-variable method of conditional expectations.
+# --------------------------------------------------------------------------
+def derandomize_stage_per_variable(events: SparsificationStageEvents,
+                                   order: list[Node] | None = None,
+                                   ) -> DerandomizationOutcome:
+    """Fix the sampling decisions ``X_v`` one at a time, greedily.
+
+    The decision order defaults to sorted-by-string node order (any fixed
+    order works; the guarantee only needs the conditional expectation to be
+    non-increasing).  For each variable the conditional expectation of the
+    affected events is computed exactly for both choices and the smaller one
+    is kept.
+    """
+    active_order = order if order is not None else sorted(events.active, key=str)
+    fixed: dict[Node, bool] = {}
+
+    for variable in active_order:
+        if variable in fixed:
+            continue
+        affected = events.dependent_nodes(variable)
+
+        fixed[variable] = False
+        expectation_if_zero = events.total_expectation(fixed, nodes=affected)
+        fixed[variable] = True
+        expectation_if_one = events.total_expectation(fixed, nodes=affected)
+
+        # Strictly smaller wins; ties (in particular the common case where
+        # both conditional expectations underflow to 0.0 because many
+        # variables are still free) keep the node unsampled, which keeps the
+        # output sparse -- the expectation argument re-engages as soon as the
+        # remaining slack becomes representable.
+        fixed[variable] = expectation_if_one < expectation_if_zero
+
+    sampled = {node for node, decision in fixed.items() if decision}
+    phi, psi = events.bad_events(sampled)
+    return DerandomizationOutcome(sampled=sampled, method="per-variable",
+                                  residual_phi=phi, residual_psi=psi)
+
+
+# --------------------------------------------------------------------------
+# Faithful bit-by-bit seed fixing (Claim 5.6).
+# --------------------------------------------------------------------------
+def _estimate_expectation(events: SparsificationStageEvents,
+                          family: KWiseHashFamily,
+                          node_ids: Mapping[Node, int],
+                          prefix: BitSeed,
+                          rng: random.Random,
+                          samples: int) -> float:
+    """Estimate ``E[sum_v Phi_v + Psi_v | seed prefix]``.
+
+    Averages the exact (deterministic) event count over ``samples`` random
+    completions of the prefix; when few bits remain, enumerates all
+    completions exactly.
+    """
+    remaining = family.seed_bits - len(prefix)
+    completions: list[BitSeed] = []
+    if remaining <= 0:
+        completions.append(prefix)
+    elif 2 ** remaining <= samples:
+        for value in range(2 ** remaining):
+            bits = [(value >> shift) & 1 for shift in range(remaining - 1, -1, -1)]
+            completions.append(BitSeed(list(prefix) + bits))
+    else:
+        for _ in range(samples):
+            bits = [rng.randrange(2) for _ in range(remaining)]
+            completions.append(BitSeed(list(prefix) + bits))
+
+    total = 0.0
+    for completion in completions:
+        hash_function = family.from_seed(completion)
+        sampled = events.evaluate_with_hash(hash_function, node_ids)
+        phi, psi = events.bad_events(sampled)
+        total += len(phi) + len(psi)
+    return total / max(1, len(completions))
+
+
+def derandomize_stage_seed_bits(events: SparsificationStageEvents,
+                                node_ids: Mapping[Node, int],
+                                *,
+                                independence: int | None = None,
+                                samples_per_bit: int = 8,
+                                rng: random.Random | None = None,
+                                repair: bool = True,
+                                ) -> DerandomizationOutcome:
+    """Claim 5.6: fix the seed of a k-wise independent hash family bit by bit.
+
+    Parameters
+    ----------
+    events:
+        The stage's event system.
+    node_ids:
+        The O(log n)-bit identifiers hashed by the family.
+    independence:
+        Independence parameter of the family (default: a small constant so
+        the simulation stays fast; the paper uses ``8 log n``).
+    samples_per_bit:
+        Number of random completions used to estimate each conditional
+        expectation.  The estimation error is irrelevant in practice because
+        every completion is itself a valid random seed whose bad-event count
+        is almost surely zero; the verification + repair step below keeps the
+        output guarantee unconditional.
+    rng:
+        Randomness for the estimation (NOT for the output: the chosen seed is
+        a deterministic function of the estimates).
+    repair:
+        When true, fall back to the exact per-variable derandomizer if the
+        chosen seed leaves a bad event.
+    """
+    rng = rng or random.Random(0)
+    if not events.active:
+        return DerandomizationOutcome(sampled=set(), method="seed-bits", seed=BitSeed())
+    if independence is None:
+        independence = 4
+    family = KWiseHashFamily(independence=independence,
+                             domain=max(node_ids.values()) + 1,
+                             output_range=2 ** 16)
+
+    prefix = BitSeed()
+    for _ in range(family.seed_bits):
+        expectation_zero = _estimate_expectation(events, family, node_ids,
+                                                 prefix.extended(0), rng, samples_per_bit)
+        expectation_one = _estimate_expectation(events, family, node_ids,
+                                                prefix.extended(1), rng, samples_per_bit)
+        prefix = prefix.extended(0 if expectation_zero <= expectation_one else 1)
+
+    hash_function: KWiseHashFunction = family.from_seed(prefix)
+    sampled = events.evaluate_with_hash(hash_function, node_ids)
+    phi, psi = events.bad_events(sampled)
+    outcome = DerandomizationOutcome(sampled=sampled, method="seed-bits", seed=prefix,
+                                     bits_fixed=family.seed_bits,
+                                     residual_phi=phi, residual_psi=psi)
+    if outcome.clean or not repair:
+        return outcome
+
+    fallback = derandomize_stage_per_variable(events)
+    fallback.method = "seed-bits+repair"
+    fallback.seed = prefix
+    fallback.repaired = True
+    fallback.bits_fixed = family.seed_bits
+    return fallback

@@ -1,0 +1,30 @@
+"""Network decompositions with separation, and distance-k ball graphs.
+
+The paper uses two clustering tools as subroutines:
+
+* a weak-diameter **network decomposition** of ``G^k`` -- i.e. a partition of
+  the nodes into low-diameter clusters colored with few colors such that
+  same-colored clusters are more than ``k`` hops apart (Definition 2.1,
+  Theorem A.1).  It powers the diameter-free sparsification (Lemma 5.8) and
+  the post-shattering phase of the randomized algorithms.
+* **distance-k ball graphs** (Lemma 8.3): given a partition of the undecided
+  nodes into balls around ruling-set nodes, the balls are extended by
+  disjoint borders so that the resulting virtual graph preserves distance-k
+  adjacency; a network decomposition of the ball graph then induces one of
+  ``G^k`` (Claim 8.4).
+"""
+
+from repro.decomposition.ball_graph import BallGraph, form_distance_k_ball_graph
+from repro.decomposition.network_decomposition import (
+    Cluster,
+    NetworkDecomposition,
+    network_decomposition,
+)
+
+__all__ = [
+    "BallGraph",
+    "Cluster",
+    "NetworkDecomposition",
+    "form_distance_k_ball_graph",
+    "network_decomposition",
+]

@@ -1,0 +1,87 @@
+"""Illustration and lower-bound gadgets from the paper.
+
+Currently contains the Figure-1 gadget (tightness of the communication tools
+of Lemma 4.2) and a two-cluster gadget used by the shattering tests.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["figure1_gadget", "two_cluster_gadget"]
+
+
+def figure1_gadget(hat_delta: int, s: int = 3) -> tuple[nx.Graph, tuple[int, int], set[int]]:
+    """The Figure-1 example showing that Lemma 4.2 is tight.
+
+    The gadget consists of a single central edge ``{v, w}`` and two fans of
+    ``hat_delta / 2`` nodes of ``Q`` hanging off each endpoint at distance
+    ``(s - 1) / 2``.  Every broadcast from the left fan to the distance-``s``
+    neighborhood of its origin must cross ``{v, w}`` (and symmetrically), so
+    with ``|Q| = hat_delta`` the edge carries ``Θ(hat_delta)`` broadcast
+    messages and ``Θ(hat_delta^2 / 4)`` point-to-point Q-messages.
+
+    Parameters
+    ----------
+    hat_delta:
+        The sparsity parameter ``Δ̂`` -- the number of ``Q`` nodes in the
+        gadget (rounded down to an even number).
+    s:
+        The power / message radius; Figure 1 uses ``s = 3``.  Must be odd and
+        at least 3 so that the fans sit at distance ``(s - 1) / 2 >= 1`` from
+        the central edge.
+
+    Returns
+    -------
+    (graph, (v, w), q_nodes):
+        The communication graph, the central edge, and the set ``Q``.
+    """
+    if s < 3 or s % 2 == 0:
+        raise ValueError("figure1_gadget requires an odd s >= 3")
+    half = max(1, hat_delta // 2)
+    arm = (s - 1) // 2
+
+    graph = nx.Graph()
+    v, w = 0, 1
+    graph.add_edge(v, w)
+    next_node = 2
+    q_nodes: set[int] = set()
+
+    for side, anchor in ((0, v), (1, w)):
+        for _ in range(half):
+            previous = anchor
+            for depth in range(arm):
+                current = next_node
+                next_node += 1
+                graph.add_edge(previous, current)
+                previous = current
+            q_nodes.add(previous)
+        del side
+    return graph, (v, w), q_nodes
+
+
+def two_cluster_gadget(cluster_size: int, bridge_length: int) -> tuple[nx.Graph, set[int], set[int]]:
+    """Two cliques joined by a path of ``bridge_length`` edges.
+
+    Used to exercise the "small components far apart" corner cases in the
+    shattering post-processing (Section 7.3 discusses exactly this failure
+    mode of the arXiv version of BEPS16: undecided nodes in the two cliques
+    cannot be connected through decided bridge nodes).
+    """
+    graph = nx.Graph()
+    left = set(range(cluster_size))
+    right = set(range(cluster_size, 2 * cluster_size))
+    for cluster in (left, right):
+        members = sorted(cluster)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                graph.add_edge(a, b)
+    # Bridge path.
+    previous = 0
+    next_node = 2 * cluster_size
+    for _ in range(max(1, bridge_length)):
+        graph.add_edge(previous, next_node)
+        previous = next_node
+        next_node += 1
+    graph.add_edge(previous, cluster_size)  # attach to the right clique
+    return graph, left, right

@@ -1,0 +1,199 @@
+"""Workload graph generators.
+
+The paper's evaluation landscape (Table 1) is parameterised by the number of
+nodes ``n``, the maximum degree ``Delta`` and the power ``k``.  The benchmark
+harness sweeps those parameters over the graph families below.  All
+generators return simple undirected :class:`networkx.Graph` objects with
+integer nodes ``0..n-1`` and accept a ``seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+import networkx as nx
+
+__all__ = [
+    "caterpillar_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "path_graph",
+    "power_law_graph",
+    "random_regular_graph",
+    "random_tree",
+    "ring_of_cliques",
+    "star_graph",
+    "unit_disk_graph",
+]
+
+
+def _finalize(graph: nx.Graph) -> nx.Graph:
+    """Normalise a generated graph: simple, undirected, integer labels."""
+    graph = nx.Graph(graph)
+    graph.remove_edges_from(nx.selfloop_edges(graph))
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes()))}
+    if any(node != mapping[node] for node in graph.nodes()):
+        graph = nx.relabel_nodes(graph, mapping)
+    return graph
+
+
+def random_regular_graph(n: int, degree: int, seed: int | None = None) -> nx.Graph:
+    """A random ``degree``-regular graph on ``n`` nodes.
+
+    Regular graphs are the cleanest workload for the sparsification
+    experiments because the sampling probability ``Theta(log n / Delta^k)``
+    of Section 5.1 assumes (near-)regularity of ``G^k``.
+    """
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n {n}")
+    if (n * degree) % 2 != 0:
+        degree += 1
+    if degree >= n:
+        degree = n - 1 - ((n - 1) % 2 == 1 and n % 2 == 1)
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    return _finalize(graph)
+
+
+def erdos_renyi_graph(n: int, p: float | None = None, *,
+                      expected_degree: float | None = None,
+                      seed: int | None = None,
+                      connect: bool = True) -> nx.Graph:
+    """An Erdos-Renyi ``G(n, p)`` graph.
+
+    Either ``p`` or ``expected_degree`` must be supplied.  When ``connect`` is
+    true the generated graph is patched into a single connected component by
+    chaining the components with single edges (the CONGEST algorithms in the
+    paper assume a connected communication network for the global
+    convergecasts of Claim 5.6).
+    """
+    if p is None:
+        if expected_degree is None:
+            raise ValueError("either p or expected_degree must be given")
+        p = min(1.0, expected_degree / max(1, n - 1))
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    if connect and n > 1:
+        rng = random.Random(seed)
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(rng.choice(first), rng.choice(second))
+    return _finalize(graph)
+
+
+def unit_disk_graph(n: int, radius: float | None = None, *,
+                    seed: int | None = None,
+                    connect: bool = True) -> nx.Graph:
+    """A random geometric (unit-disk) graph on the unit square.
+
+    Unit-disk graphs model the wireless networks that motivate the paper's
+    frequency-assignment example (Section 1): distance-2 colorings and ruling
+    sets of ``G^2`` correspond to interference-free frequency schedules.
+    """
+    if radius is None:
+        # Threshold radius for connectivity ~ sqrt(log n / (pi n)); use a
+        # comfortable multiple so the expected degree is Theta(log n).
+        radius = 1.5 * math.sqrt(math.log(max(2, n)) / (math.pi * max(1, n)))
+    rng = random.Random(seed)
+    positions = {i: (rng.random(), rng.random()) for i in range(n)}
+    graph = nx.random_geometric_graph(n, radius, pos=positions, seed=seed)
+    if connect and n > 1:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(first[0], second[0])
+    graph = _finalize(graph)
+    nx.set_node_attributes(graph, positions, "pos")
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A ``rows x cols`` grid; a bounded-growth graph with large diameter."""
+    graph = nx.grid_2d_graph(rows, cols)
+    return _finalize(graph)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A path on ``n`` nodes (the extreme high-diameter workload)."""
+    return _finalize(nx.path_graph(n))
+
+
+def star_graph(n: int) -> nx.Graph:
+    """A star with ``n - 1`` leaves (the extreme high-degree workload)."""
+    return _finalize(nx.star_graph(max(0, n - 1)))
+
+
+def random_tree(n: int, seed: int | None = None) -> nx.Graph:
+    """A uniformly random labelled tree on ``n`` nodes."""
+    if n <= 1:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        return graph
+    return _finalize(nx.random_labeled_tree(n, seed=seed))
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> nx.Graph:
+    """A caterpillar: a path of ``spine`` nodes, each with pendant leaves.
+
+    Caterpillars stress the power-graph setting: in ``G^2`` the legs of a
+    spine node form a clique, so degrees in ``G^2`` blow up while degrees in
+    ``G`` stay tiny.
+    """
+    graph = nx.Graph()
+    for i in range(spine):
+        graph.add_node(i)
+        if i > 0:
+            graph.add_edge(i - 1, i)
+    next_node = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(i, next_node)
+            next_node += 1
+    return _finalize(graph)
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> nx.Graph:
+    """``num_cliques`` cliques of size ``clique_size`` joined in a ring.
+
+    Used as a shattering workload: after pre-shattering, whole cliques tend
+    to be decided together, leaving well-separated residual components.
+    """
+    graph = nx.ring_of_cliques(max(3, num_cliques), max(2, clique_size))
+    return _finalize(graph)
+
+
+def power_law_graph(n: int, exponent: float = 2.5, *,
+                    seed: int | None = None,
+                    connect: bool = True) -> nx.Graph:
+    """A graph with a power-law degree sequence (configuration model).
+
+    Heterogeneous degrees exercise the stage structure of Algorithm 1: the
+    sampling probability grows over the ``O(log Delta)`` stages precisely so
+    that both hubs and low-degree nodes end up with ``O(log n)`` sampled
+    neighbors.
+    """
+    rng = random.Random(seed)
+    degrees = []
+    for _ in range(n):
+        # Discrete power-law sample in [1, n-1] by inverse transform.
+        u = rng.random()
+        value = int(round((1.0 - u) ** (-1.0 / (exponent - 1.0))))
+        degrees.append(max(1, min(n - 1, value)))
+    if sum(degrees) % 2 == 1:
+        degrees[0] += 1
+    graph = nx.configuration_model(degrees, seed=seed)
+    graph = nx.Graph(graph)
+    if connect and n > 1:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(first[0], second[0])
+    return _finalize(graph)
+
+
+def workload_suite(sizes: Iterable[int], *, seed: int = 0) -> dict[str, nx.Graph]:
+    """A small named suite of workloads, one per family, for integration tests."""
+    suite: dict[str, nx.Graph] = {}
+    for n in sizes:
+        suite[f"regular-{n}"] = random_regular_graph(n, max(3, int(math.log2(n))), seed=seed)
+        suite[f"er-{n}"] = erdos_renyi_graph(n, expected_degree=max(3.0, math.log(n)), seed=seed)
+        suite[f"udg-{n}"] = unit_disk_graph(n, seed=seed)
+    return suite

@@ -1,0 +1,210 @@
+"""Power graphs and distance-``s`` neighborhoods (Section 2 of the paper).
+
+The problem instance throughout the paper is the power graph ``G^k``: the
+graph on the same vertex set as ``G`` where two nodes are adjacent iff their
+distance in ``G`` is at most ``k``.  The communication network remains ``G``.
+This module provides the centralized view of those objects which the
+simulator and the verification code rely on:
+
+* :func:`power_graph` materialises ``G^k`` (only used for small inputs and
+  for verification -- the algorithms themselves never materialise it).
+* :func:`distance_neighborhood` computes ``N^s(v)``, the non-inclusive
+  distance-``s`` neighborhood used throughout the paper.
+* :func:`induced_power_subgraph` computes ``G^s[X]`` -- note that this is
+  *not* ``(G[X])^s``; paths may leave ``X`` (Section 2).
+* :func:`k_connected_components` computes maximal ``k``-connected subsets
+  (sets ``S`` such that ``G^k[S]`` is connected), used by the shattering
+  analysis (Lemma 7.3 / Lemma 8.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+Node = Hashable
+
+__all__ = [
+    "ball",
+    "bounded_bfs",
+    "distance_neighborhood",
+    "distance_s_degree",
+    "induced_power_subgraph",
+    "k_connected_components",
+    "power_graph",
+    "sphere",
+]
+
+
+def bounded_bfs(graph: nx.Graph, source: Node, depth: int) -> dict[Node, int]:
+    """Breadth-first distances from ``source`` truncated at ``depth``.
+
+    Returns a mapping ``node -> dist`` including the source itself (distance
+    0) and every node at distance at most ``depth``.
+    """
+    if depth < 0:
+        return {}
+    distances: dict[Node, int] = {source: 0}
+    if depth == 0:
+        return distances
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        dist = distances[node]
+        if dist == depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = dist + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def ball(graph: nx.Graph, source: Node, radius: int) -> set[Node]:
+    """The inclusive ball ``N^radius(v) ∪ {v}``."""
+    return set(bounded_bfs(graph, source, radius))
+
+
+def sphere(graph: nx.Graph, source: Node, radius: int) -> set[Node]:
+    """Nodes at distance exactly ``radius`` from ``source``."""
+    distances = bounded_bfs(graph, source, radius)
+    return {node for node, dist in distances.items() if dist == radius}
+
+
+def distance_neighborhood(graph: nx.Graph, source: Node, s: int,
+                          restrict_to: Iterable[Node] | None = None) -> set[Node]:
+    """``N^s(v)`` -- the non-inclusive distance-``s`` neighborhood of ``v``.
+
+    When ``restrict_to`` is given, returns ``N^s(v, X) = N^s(v) ∩ X`` (the
+    distance-``s`` ``X``-neighborhood of the paper).  The source is never
+    included, matching the paper's convention that ``N(v)`` is non-inclusive.
+    """
+    reachable = set(bounded_bfs(graph, source, s))
+    reachable.discard(source)
+    if restrict_to is not None:
+        restrict = set(restrict_to)
+        reachable &= restrict
+    return reachable
+
+
+def distance_s_degree(graph: nx.Graph, source: Node, s: int,
+                      restrict_to: Iterable[Node] | None = None) -> int:
+    """``d_s(v, X) = |N^s(v) ∩ X|`` (``d_s(v)`` when ``restrict_to`` is None)."""
+    return len(distance_neighborhood(graph, source, s, restrict_to))
+
+
+def power_graph(graph: nx.Graph, k: int) -> nx.Graph:
+    """Materialise the power graph ``G^k``.
+
+    ``G^0`` has no edges; ``G^1 = G``.  Node attributes are copied.  This is
+    intended for verification and for small workloads only -- the distributed
+    algorithms never construct ``G^k`` explicitly (a node of ``G`` does not
+    even know its degree in ``G^k``).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    power = nx.Graph()
+    power.add_nodes_from(graph.nodes(data=True))
+    if k == 0:
+        return power
+    if k == 1:
+        power.add_edges_from(graph.edges())
+        return power
+    for node in graph.nodes():
+        for other, dist in bounded_bfs(graph, node, k).items():
+            if other != node and dist >= 1:
+                power.add_edge(node, other)
+    return power
+
+
+def induced_power_subgraph(graph: nx.Graph, k: int, subset: Iterable[Node]) -> nx.Graph:
+    """``G^k[X]``: the subgraph of ``G^k`` induced by ``X``.
+
+    Edges correspond to pairs of nodes of ``X`` within distance ``k`` *in G*
+    (paths may use nodes outside ``X``), which is the object the paper's MIS
+    simulation (Lemma 4.6) operates on.
+    """
+    subset = set(subset)
+    induced = nx.Graph()
+    induced.add_nodes_from(subset)
+    for node in subset:
+        distances = bounded_bfs(graph, node, k)
+        for other, dist in distances.items():
+            if other != node and other in subset and dist >= 1:
+                induced.add_edge(node, other)
+    return induced
+
+
+def pairwise_distance_at_least(graph: nx.Graph, nodes: Iterable[Node],
+                               alpha: int) -> bool:
+    """True iff all distinct nodes of ``nodes`` are at distance >= ``alpha``."""
+    nodes = list(nodes)
+    node_set = set(nodes)
+    for node in nodes:
+        distances = bounded_bfs(graph, node, alpha - 1)
+        for other, dist in distances.items():
+            if other != node and other in node_set and dist <= alpha - 1:
+                return False
+    return True
+
+
+def k_connected_components(graph: nx.Graph, subset: Iterable[Node],
+                           k: int) -> list[set[Node]]:
+    """Partition ``subset`` into maximal ``k``-connected pieces.
+
+    ``S`` is ``k``-connected in ``G`` iff ``G^k[S]`` is connected
+    (Section 2).  The components are exactly the connected components of
+    ``G^k[subset]``.
+    """
+    subset = set(subset)
+    if not subset:
+        return []
+    components: list[set[Node]] = []
+    unvisited = set(subset)
+    while unvisited:
+        start = next(iter(unvisited))
+        component = {start}
+        frontier = deque([start])
+        unvisited.discard(start)
+        while frontier:
+            node = frontier.popleft()
+            nearby = distance_neighborhood(graph, node, k, restrict_to=unvisited)
+            for other in nearby:
+                component.add(other)
+                unvisited.discard(other)
+                frontier.append(other)
+        components.append(component)
+    return components
+
+
+def domination_distance(graph: nx.Graph, dominators: Iterable[Node],
+                        targets: Iterable[Node] | None = None) -> int:
+    """``max_{v in targets} dist_G(v, dominators)``.
+
+    Returns the worst-case distance from any target node to the dominating
+    set.  Infinite distances (unreachable targets or an empty dominating
+    set) are reported as a value larger than the number of nodes so callers
+    can compare against finite bounds.
+    """
+    dominators = set(dominators)
+    if targets is None:
+        targets = list(graph.nodes())
+    else:
+        targets = list(targets)
+    if not targets:
+        return 0
+    unreachable = graph.number_of_nodes() + 1
+    if not dominators:
+        return unreachable
+    # Multi-source BFS from the dominating set.
+    distances: dict[Node, int] = {node: 0 for node in dominators if node in graph}
+    frontier = deque(distances)
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                frontier.append(neighbor)
+    return max(distances.get(node, unreachable) for node in targets)

@@ -1,0 +1,17 @@
+"""k-wise independent hash families and seeded randomness (Section 2).
+
+The derandomization of Section 5.2 simulates the random choices of one stage
+of the sampling algorithm with an ``8 log n``-wise independent hash family
+whose seed is ``Theta(log^2 n)`` bits (Lemma 2.3).  The seed bits are then
+fixed one by one with the method of conditional expectations (Claim 5.6).
+"""
+
+from repro.hashing.kwise import KWiseHashFamily, KWiseHashFunction
+from repro.hashing.seeds import BitSeed, seed_from_bits
+
+__all__ = [
+    "BitSeed",
+    "KWiseHashFamily",
+    "KWiseHashFunction",
+    "seed_from_bits",
+]

@@ -1,0 +1,147 @@
+"""k-wise independent hash families (Lemma 2.3 / Definition 2.2).
+
+We use the classic construction: a uniformly random polynomial of degree
+``k - 1`` over a prime field ``F_p`` with ``p >= max(N, L)`` is a k-wise
+independent family ``h : [N] -> [p]``; reducing the output modulo ``L``
+yields values that are close to uniform on ``[L]`` (exactly uniform when
+``L`` divides ``p``; the slight non-uniformity is at most ``L / p`` per value
+and we pick ``p`` polynomially larger than ``L`` so it is negligible --
+this matches the standard treatment in [Vad12] which the paper cites).
+
+The seed of a function is the ``k`` coefficients, i.e. ``k * ceil(log2 p)``
+bits, which is the ``k * max(a, b)`` random bits of Lemma 2.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hashing.seeds import BitSeed
+
+__all__ = ["KWiseHashFamily", "KWiseHashFunction"]
+
+
+def _is_prime(candidate: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers."""
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for prime in small_primes:
+        if candidate % prime == 0:
+            return candidate == prime
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in small_primes:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(lower_bound: int) -> int:
+    """The smallest prime >= ``lower_bound``."""
+    candidate = max(2, lower_bound)
+    if candidate % 2 == 0 and candidate != 2:
+        candidate += 1
+    while not _is_prime(candidate):
+        candidate += 2 if candidate > 2 else 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class KWiseHashFunction:
+    """A single member of a k-wise independent family.
+
+    ``h(x) = (sum_i coeffs[i] * x^i mod p) mod output_range``.
+    """
+
+    coefficients: tuple[int, ...]
+    prime: int
+    output_range: int
+
+    def __call__(self, x: int) -> int:
+        value = 0
+        for coefficient in reversed(self.coefficients):  # Horner's rule
+            value = (value * x + coefficient) % self.prime
+        return value % self.output_range
+
+    def field_value(self, x: int) -> int:
+        """The raw polynomial value in ``F_p`` (before the mod-L reduction)."""
+        value = 0
+        for coefficient in reversed(self.coefficients):
+            value = (value * x + coefficient) % self.prime
+        return value
+
+    @property
+    def independence(self) -> int:
+        return len(self.coefficients)
+
+
+class KWiseHashFamily:
+    """A ``k``-wise independent family ``H = {h : [domain] -> [output_range]}``.
+
+    Parameters
+    ----------
+    independence:
+        The independence parameter ``k`` (the polynomial degree is ``k - 1``).
+    domain:
+        Upper bound on hashed keys (node IDs).
+    output_range:
+        ``L``: hash values are uniform-ish over ``[0, L)``.
+    prime_slack:
+        The field size is the smallest prime ``>= prime_slack * max(domain,
+        output_range)``; a larger slack reduces the mod-L bias.
+    """
+
+    def __init__(self, independence: int, domain: int, output_range: int,
+                 *, prime_slack: int = 64) -> None:
+        if independence < 1:
+            raise ValueError("independence must be >= 1")
+        if output_range < 1:
+            raise ValueError("output_range must be >= 1")
+        self.independence = independence
+        self.domain = max(2, domain)
+        self.output_range = output_range
+        self.prime = next_prime(prime_slack * max(self.domain, output_range, 2))
+        self.bits_per_coefficient = self.prime.bit_length()
+        self.seed_bits = independence * self.bits_per_coefficient
+
+    # ----------------------------------------------------------- sampling
+    def sample(self, rng: random.Random) -> KWiseHashFunction:
+        """Draw a uniformly random member of the family."""
+        coefficients = tuple(rng.randrange(self.prime) for _ in range(self.independence))
+        return KWiseHashFunction(coefficients, self.prime, self.output_range)
+
+    def from_seed(self, seed: BitSeed | Sequence[int]) -> KWiseHashFunction:
+        """Deterministically map a bit string to a member of the family.
+
+        The seed is split into ``independence`` chunks of
+        ``bits_per_coefficient`` bits; each chunk is reduced mod ``p``.  A
+        short seed is zero-padded (so a partially fixed seed still denotes a
+        function, which is what the bit-by-bit derandomization manipulates).
+        """
+        bits = list(seed)
+        bits.extend([0] * (self.seed_bits - len(bits)))
+        coefficients = []
+        for index in range(self.independence):
+            chunk = bits[index * self.bits_per_coefficient:(index + 1) * self.bits_per_coefficient]
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | (1 if bit else 0)
+            coefficients.append(value % self.prime)
+        return KWiseHashFunction(tuple(coefficients), self.prime, self.output_range)
+
+    def random_seed(self, rng: random.Random) -> BitSeed:
+        """A uniformly random full-length seed."""
+        return BitSeed([rng.randrange(2) for _ in range(self.seed_bits)])

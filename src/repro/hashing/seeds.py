@@ -1,0 +1,68 @@
+"""Bit-string seeds manipulated by the derandomization (Claim 5.6).
+
+The method of conditional expectations fixes the ``gamma = Theta(log^2 n)``
+random bits of the hash-function seed one at a time.  A :class:`BitSeed` is
+simply a list of bits with helpers for extending a prefix with 0 or 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["BitSeed", "seed_from_bits"]
+
+
+class BitSeed(Sequence[int]):
+    """An immutable sequence of bits (each 0 or 1)."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        self._bits = tuple(1 if bit else 0 for bit in bits)
+
+    # Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return BitSeed(self._bits[index])
+        return self._bits[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitSeed):
+            return self._bits == other._bits
+        if isinstance(other, (tuple, list)):
+            return list(self._bits) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"BitSeed({''.join(str(b) for b in self._bits)})"
+
+    # Construction helpers ----------------------------------------------
+    def extended(self, bit: int) -> "BitSeed":
+        """A new seed with ``bit`` appended (the prefix grows by one)."""
+        return BitSeed(self._bits + ((1 if bit else 0),))
+
+    def padded(self, length: int, fill: int = 0) -> "BitSeed":
+        """Zero-pad (or truncate) to exactly ``length`` bits."""
+        bits = list(self._bits[:length])
+        bits.extend([1 if fill else 0] * (length - len(bits)))
+        return BitSeed(bits)
+
+    def as_int(self) -> int:
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return value
+
+
+def seed_from_bits(bits: Iterable[int]) -> BitSeed:
+    """Convenience constructor mirroring :class:`BitSeed`."""
+    return BitSeed(bits)

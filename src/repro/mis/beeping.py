@@ -1,0 +1,266 @@
+"""BeepingMIS ([Gha17], Section 2.2) on ``G`` and on power graphs (Lemma 8.2).
+
+The algorithm runs in *steps* of two communication rounds.  Every undecided
+node ``v`` keeps a marking probability ``p_v`` (initially 1/2):
+
+1. ``v`` marks itself with probability ``p_v`` and beeps if marked;
+2. a marked node with no marked neighbor joins the MIS and beeps again;
+   the nodes that joined and their neighbors become decided.
+
+The probability update is the beeping rule: if ``v`` heard a marked beep
+from a neighbor, ``p_v`` halves; otherwise it doubles (capped at 1/2).
+``O(log deg(v) + log 1/eps)`` steps decide ``v`` with probability
+``1 - eps`` [Gha17, Theorem 2.1]; ``Theta(log Delta)`` steps shatter the
+graph (Lemma 8.1).
+
+On ``G^k`` the beeps are forwarded for ``k`` hops and must carry the ID of
+the beeping node so that a beeping node does not confuse a relayed copy of
+its own beep with a neighbor's (the paper's "minor but crucial
+modification"); each node forwards at most two distinct IDs, which is enough
+for every beeper to detect whether it has a beeping distance-``k`` neighbor
+(Lemma 8.2).  One step therefore costs ``O(k * ceil(a / bandwidth))``
+rounds.
+
+Three entry points are provided:
+
+* :class:`BeepingMISProcess` -- the reusable process over an explicit
+  adjacency structure (used by the shattering pipelines, which need to run
+  it on residual components and on ``G^k``);
+* :func:`beeping_mis` / :func:`beeping_mis_power` -- convenience wrappers
+  with round accounting;
+* :class:`BeepingMISNode` -- the per-node state machine for the real
+  message-passing simulator on ``G``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.congest.cost import RoundLedger
+from repro.congest.node import NodeAlgorithm
+from repro.graphs.power import distance_neighborhood
+from repro.graphs.properties import max_degree
+
+Node = Hashable
+
+__all__ = ["BeepingMISNode", "BeepingMISProcess", "BeepingResult",
+           "beeping_mis", "beeping_mis_power", "default_step_budget"]
+
+
+def default_step_budget(delta: int, scale: int = 8) -> int:
+    """``Theta(log Delta)`` steps -- the pre-shattering budget of Lemma 8.1."""
+    return max(1, scale * max(1, math.ceil(math.log2(max(2, delta)))))
+
+
+@dataclass
+class BeepingResult:
+    """Output of a BeepingMIS execution."""
+
+    mis: set[Node]
+    undecided: set[Node]
+    steps: int
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total_rounds
+
+    @property
+    def complete(self) -> bool:
+        """True iff every node got decided (the MIS is maximal)."""
+        return not self.undecided
+
+
+class BeepingMISProcess:
+    """BeepingMIS over an explicit (symmetric) adjacency structure.
+
+    Parameters
+    ----------
+    adjacency:
+        ``node -> set of neighbors`` in the problem graph (``G`` itself, an
+        induced component, or the distance-``k`` adjacency of ``G^k``).
+    candidates:
+        Nodes allowed to join the MIS (default: all).  Non-candidates start
+        decided but their adjacency still blocks candidates -- this realises
+        Corollary 8.5 (MIS of ``G^k[Q]``).
+    rng:
+        Source of randomness.
+    initial_probability:
+        The starting value of ``p_v`` (1/2 in the paper).
+    """
+
+    def __init__(self, adjacency: Mapping[Node, set[Node]], *,
+                 candidates: Iterable[Node] | None = None,
+                 rng: random.Random | None = None,
+                 initial_probability: float = 0.5) -> None:
+        self.adjacency = {node: set(neighbors) for node, neighbors in adjacency.items()}
+        self.rng = rng or random.Random(0)
+        all_nodes = set(self.adjacency)
+        self.candidates = all_nodes if candidates is None else set(candidates) & all_nodes
+        self.undecided: set[Node] = set(self.candidates)
+        self.mis: set[Node] = set()
+        self.probability = {node: initial_probability for node in self.candidates}
+        self.initial_probability = initial_probability
+        self.steps_run = 0
+
+    def step(self) -> set[Node]:
+        """Run one step; returns the nodes that joined the MIS in this step."""
+        self.steps_run += 1
+        marked = {node for node in self.undecided
+                  if self.rng.random() < self.probability[node]}
+
+        joined: set[Node] = set()
+        for node in marked:
+            if not (self.adjacency[node] & marked):
+                joined.add(node)
+
+        # Probability update from the beeps of the marking round.
+        for node in self.undecided:
+            heard_marked_neighbor = bool(self.adjacency[node] & marked)
+            if heard_marked_neighbor:
+                self.probability[node] = self.probability[node] / 2.0
+            else:
+                self.probability[node] = min(self.initial_probability,
+                                             2.0 * self.probability[node])
+
+        self.mis |= joined
+        decided = set(joined)
+        for node in joined:
+            decided |= self.adjacency[node]
+        self.undecided -= decided
+        return joined
+
+    def run(self, steps: int) -> None:
+        for _ in range(max(0, steps)):
+            if not self.undecided:
+                return
+            self.step()
+
+    def run_until_complete(self, max_steps: int) -> bool:
+        """Run up to ``max_steps``; return True iff every candidate got decided."""
+        self.run(max_steps)
+        return not self.undecided
+
+
+def beeping_mis(graph: nx.Graph, *, steps: int | None = None,
+                rng: random.Random | None = None,
+                ledger: RoundLedger | None = None,
+                candidates: Iterable[Node] | None = None) -> BeepingResult:
+    """BeepingMIS on ``G`` for ``steps`` steps (2 rounds per step).
+
+    ``steps`` defaults to enough steps (``Theta(log n)``) to finish w.h.p.
+    """
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+    n = max(2, graph.number_of_nodes())
+    if steps is None:
+        steps = default_step_budget(n, scale=16)
+    adjacency = {node: set(graph.neighbors(node)) for node in graph.nodes()}
+    process = BeepingMISProcess(adjacency, candidates=candidates, rng=rng)
+    process.run(steps)
+    for _ in range(process.steps_run):
+        ledger.charge(2, label="beeping-step")
+    return BeepingResult(mis=process.mis, undecided=process.undecided,
+                         steps=process.steps_run, ledger=ledger)
+
+
+def beeping_mis_power(graph: nx.Graph, k: int, *, steps: int | None = None,
+                      rng: random.Random | None = None,
+                      ledger: RoundLedger | None = None,
+                      candidates: Iterable[Node] | None = None,
+                      id_bits: int | None = None,
+                      bandwidth_bits: int | None = None) -> BeepingResult:
+    """BeepingMIS simulated on ``G^k`` with communication network ``G``.
+
+    One step costs ``2 * k * ceil(a / bandwidth)`` rounds (Lemma 8.2): the
+    ID-tagged beeps of the marking round and of the joining round are both
+    forwarded for ``k`` hops.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+    n = max(2, graph.number_of_nodes())
+    if bandwidth_bits is None:
+        bandwidth_bits = ledger.bandwidth_bits
+    if id_bits is None:
+        id_bits = max(1, math.ceil(math.log2(n)))
+
+    nodes = set(graph.nodes()) if candidates is None else set(candidates)
+    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
+                 for node in nodes}
+    if steps is None:
+        delta_k = max((len(neighbors) for neighbors in adjacency.values()), default=1)
+        steps = default_step_budget(max(delta_k, n), scale=16)
+
+    process = BeepingMISProcess(adjacency, candidates=nodes, rng=rng)
+    process.run(steps)
+    per_step = 2 * k * max(1, math.ceil(id_bits / max(1, bandwidth_bits)))
+    for _ in range(process.steps_run):
+        ledger.charge(per_step, label="beeping-power-step")
+    return BeepingResult(mis=process.mis, undecided=process.undecided,
+                         steps=process.steps_run, ledger=ledger)
+
+
+class BeepingMISNode(NodeAlgorithm):
+    """Per-node BeepingMIS for the message-passing simulator (MIS of ``G``).
+
+    Messages are single beeps (1 bit): a mark-beep in odd rounds, a join-beep
+    in even rounds.  Output: ``True`` iff the node joined the MIS.
+    """
+
+    def __init__(self, max_steps: int = 200) -> None:
+        super().__init__()
+        self.max_steps = max_steps
+        self.probability = 0.5
+        self.marked = False
+        self.heard_mark = False
+        self.decided = False
+        self.in_mis = False
+
+    def send(self, round_number: int) -> Mapping[Node, object]:
+        # Beeps are 1-bit messages; their meaning is given by the round
+        # parity (odd = "I am marked", even = "I joined the MIS").
+        if self.decided:
+            return {}
+        if round_number % 2 == 1:
+            self.marked = self.rng.random() < self.probability
+            if self.marked:
+                return self.broadcast(None)
+            return {}
+        if self.marked and not self.heard_mark:
+            return self.broadcast(None)
+        return {}
+
+    def receive(self, round_number: int, inbox: Mapping[Node, object]) -> None:
+        if self.decided:
+            return
+        if round_number % 2 == 1:
+            self.heard_mark = bool(inbox)
+            if self.heard_mark:
+                self.probability /= 2.0
+            else:
+                self.probability = min(0.5, 2.0 * self.probability)
+            return
+        if self.marked and not self.heard_mark:
+            self.decided = True
+            self.in_mis = True
+            self.halt(True)
+            return
+        if inbox:
+            self.decided = True
+            self.halt(False)
+            return
+        if round_number >= 2 * self.max_steps:
+            # Out of budget: undecided nodes report False; the driver treats
+            # an incomplete run as "not shattered yet".
+            self.halt(False)
+
+    def finalize(self) -> None:
+        if not self.halted:
+            self.halt(self.in_mis)

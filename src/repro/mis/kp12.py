@@ -1,0 +1,119 @@
+"""The degree-reduction sparsification of [KP12] / Sparsify-GG of [BKP14].
+
+Given a graph ``H`` with maximum degree ``Delta_H`` and a parameter
+``f >= 2``, the algorithm samples a subset ``Q`` in ``O(log_f Delta_H)``
+rounds such that (1) the maximum degree of ``H[Q]`` is ``O(f log n)`` with
+high probability and (2) ``Q`` dominates ``V_H`` (every node is in ``Q`` or
+has a neighbor in ``Q``).  All communication consists of beeps by sampled
+nodes, so the algorithm can be simulated on ``G^k`` with a ``k``-factor
+slowdown and without knowing one's ``G^k`` degree (Section 8.3).
+
+The implementation mirrors the stage structure of Algorithm 1 with growth
+factor ``f`` instead of 2: in stage ``j`` active nodes join ``Q`` with
+probability ``~ f^j log n / Delta_H``; nodes that are sampled or have a
+sampled neighbor become inactive; after the last stage the remaining active
+nodes join ``Q``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.congest.cost import RoundLedger
+from repro.core.events import log_n
+from repro.graphs.power import distance_neighborhood
+
+Node = Hashable
+
+__all__ = ["KP12Result", "kp12_sparsify", "kp12_sparsify_power"]
+
+
+@dataclass
+class KP12Result:
+    """Output of one KP12 sparsification pass."""
+
+    q: set[Node]
+    stages: int
+    f: float
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total_rounds
+
+
+def kp12_sparsify(adjacency: Mapping[Node, set[Node]], f: float, n: int, *,
+                  rng: random.Random | None = None,
+                  ledger: RoundLedger | None = None,
+                  rounds_per_stage: int = 1,
+                  delta_h: int | None = None) -> KP12Result:
+    """One KP12 pass over an explicit adjacency structure.
+
+    Parameters
+    ----------
+    adjacency:
+        ``node -> neighbors`` in ``H`` (symmetric).
+    f:
+        The degree-reduction target: the output degree is ``O(f log n)``.
+    n:
+        The global number of nodes (used in the ``log n`` factors and the
+        w.h.p. guarantees).
+    rounds_per_stage:
+        Communication rounds charged per stage (1 for ``H = G``, ``k`` when
+        the beeps must be forwarded ``k`` hops).
+    delta_h:
+        Upper bound on the maximum degree of ``H`` (computed when omitted).
+    """
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+    f = max(2.0, float(f))
+    nodes = set(adjacency)
+    if delta_h is None:
+        delta_h = max((len(neighbors) for neighbors in adjacency.values()), default=0)
+    delta_h = max(1, delta_h)
+    logn = log_n(n)
+
+    stages = max(1, math.ceil(math.log(max(2.0, delta_h / logn), f)))
+    active = set(nodes)
+    q: set[Node] = set()
+
+    for stage in range(1, stages + 1):
+        if not active:
+            break
+        probability = min(1.0, (f ** stage) * logn / delta_h)
+        sampled = {node for node in active if rng.random() < probability}
+        q |= sampled
+        decided = set(sampled)
+        for node in sampled:
+            decided |= adjacency[node] & active
+        active -= decided
+        ledger.charge(rounds_per_stage, label=f"kp12-stage-{stage}")
+
+    q |= active  # leftover low-degree nodes join Q
+    return KP12Result(q=q, stages=stages, f=f, ledger=ledger)
+
+
+def kp12_sparsify_power(graph: nx.Graph, k: int, f: float, *,
+                        candidates: Iterable[Node] | None = None,
+                        rng: random.Random | None = None,
+                        ledger: RoundLedger | None = None) -> KP12Result:
+    """KP12 on ``G^k[candidates]`` with communication network ``G``.
+
+    The beeps of sampled nodes are forwarded for ``k`` hops, so each stage
+    costs ``k`` rounds (Lemma 8.2 without IDs: beeping nodes do not need to
+    listen, so a plain 1-bit flood suffices).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+    nodes = set(graph.nodes()) if candidates is None else set(candidates)
+    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
+                 for node in nodes}
+    return kp12_sparsify(adjacency, f, graph.number_of_nodes(), rng=rng, ledger=ledger,
+                         rounds_per_stage=k)

@@ -1,0 +1,186 @@
+"""Luby's algorithm on ``G`` and on power graphs (Section 8.1).
+
+Luby's algorithm [Lub86, ABI86] in the random-priority formulation of
+[MRSZ11]: in every step each undecided node draws a random number from
+``[n^c]``; a node whose number is strictly smaller than those of all its
+undecided neighbors joins the MIS and its neighborhood becomes decided.  The
+algorithm finishes in ``O(log n)`` steps w.h.p.
+
+On the power graph ``G^k`` (with communication network ``G``) each step is
+simulated with a ``k``-factor slowdown: the minimum of the random values in
+the distance-``k`` neighborhood is aggregated over ``k`` hops and joining
+nodes alert their distance-``k`` neighborhood (the paper notes that the
+degree-independent variant is essential because nodes do not know their
+``G^k`` degree).
+
+Two implementations are provided:
+
+* :class:`LubyMISNode` -- the per-node state machine for the real
+  message-passing simulator (``k = 1`` only).
+* :func:`luby_mis` / :func:`luby_mis_power` -- graph-level executions with
+  round accounting, usable for any ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.congest.cost import RoundLedger
+from repro.congest.node import NodeAlgorithm
+from repro.graphs.power import distance_neighborhood
+
+Node = Hashable
+
+__all__ = ["LubyMISNode", "LubyResult", "luby_mis", "luby_mis_power"]
+
+#: Random priorities are drawn from [n^PRIORITY_EXPONENT] so ties are unlikely
+#: (``c`` in [MRSZ11]); ties are broken by ID to keep runs deterministic
+#: given the seed.
+PRIORITY_EXPONENT = 3
+
+
+@dataclass
+class LubyResult:
+    """Output of a graph-level Luby execution."""
+
+    mis: set[Node]
+    steps: int
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.total_rounds
+
+
+def _luby_on_adjacency(adjacency: Mapping[Node, set[Node]], rng: random.Random,
+                       priority_space: int) -> tuple[set[Node], int]:
+    """Run Luby's algorithm on an explicit adjacency structure.
+
+    Returns the MIS and the number of steps used.  The adjacency must be
+    symmetric; nodes absent from it are treated as isolated (they join the
+    MIS immediately).
+    """
+    undecided = set(adjacency)
+    mis: set[Node] = set()
+    steps = 0
+    while undecided:
+        steps += 1
+        priorities = {node: (rng.randrange(priority_space), str(node)) for node in undecided}
+        winners = set()
+        for node in undecided:
+            neighbors = adjacency[node] & undecided
+            if all(priorities[node] < priorities[other] for other in neighbors):
+                winners.add(node)
+        mis |= winners
+        decided = set(winners)
+        for node in winners:
+            decided |= adjacency[node]
+        undecided -= decided
+    return mis, steps
+
+
+def luby_mis(graph: nx.Graph, *, rng: random.Random | None = None,
+             ledger: RoundLedger | None = None) -> LubyResult:
+    """Luby's algorithm on ``G`` (graph-level; 2 rounds per step)."""
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+    adjacency = {node: set(graph.neighbors(node)) for node in graph.nodes()}
+    n = max(2, graph.number_of_nodes())
+    mis, steps = _luby_on_adjacency(adjacency, rng, n ** PRIORITY_EXPONENT)
+    for step in range(steps):
+        ledger.charge(2, label="luby-step")
+    return LubyResult(mis=mis, steps=steps, ledger=ledger)
+
+
+def luby_mis_power(graph: nx.Graph, k: int, *, rng: random.Random | None = None,
+                   ledger: RoundLedger | None = None,
+                   candidates: set[Node] | None = None) -> LubyResult:
+    """Luby's algorithm on ``G^k`` with communication network ``G``.
+
+    Each step costs ``2k`` rounds: ``k`` to aggregate the minimum random
+    value over the distance-``k`` neighborhood and ``k`` to alert it after
+    joining.  ``candidates`` restricts the nodes allowed to join (MIS of
+    ``G^k[candidates]``); distances are still measured in ``G``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+    nodes = set(graph.nodes()) if candidates is None else set(candidates)
+    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
+                 for node in nodes}
+    n = max(2, graph.number_of_nodes())
+    mis, steps = _luby_on_adjacency(adjacency, rng, n ** PRIORITY_EXPONENT)
+    for step in range(steps):
+        ledger.charge(2 * k, label="luby-power-step")
+    return LubyResult(mis=mis, steps=steps, ledger=ledger)
+
+
+class LubyMISNode(NodeAlgorithm):
+    """Per-node Luby for the message-passing simulator (MIS of ``G``).
+
+    Protocol per step (2 rounds):
+
+    * odd round: every undecided node broadcasts a fresh random priority;
+    * even round: a node that held the strict minimum among itself and its
+      undecided neighbors broadcasts ``("join", id)``, joins the MIS and
+      halts; nodes hearing a join halt as dominated.
+
+    Output: ``True`` if the node is in the MIS, ``False`` otherwise.
+    """
+
+    UNDECIDED = "undecided"
+    IN_MIS = "in-mis"
+    DOMINATED = "dominated"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.state = self.UNDECIDED
+        self.priority: tuple[int, int] | None = None
+        self.neighbor_priorities: dict[Node, tuple[int, int]] = {}
+        self.undecided_neighbors: set[Node] = set()
+
+    def initialize(self) -> None:
+        self.undecided_neighbors = set(self.neighbors)
+
+    def send(self, round_number: int) -> Mapping[Node, object]:
+        # Message kinds are distinguished by round parity (odd = priority,
+        # even = join beep), which keeps every message within O(log n) bits.
+        if self.state != self.UNDECIDED:
+            return {}
+        if round_number % 2 == 1:
+            self.priority = (self.rng.randrange(self.n ** PRIORITY_EXPONENT), self.node_id)
+            return self.broadcast(self.priority)
+        if self._is_local_minimum():
+            return self.broadcast(True)
+        return {}
+
+    def _is_local_minimum(self) -> bool:
+        if self.priority is None:
+            return False
+        relevant = [self.neighbor_priorities[nbr] for nbr in self.undecided_neighbors
+                    if nbr in self.neighbor_priorities]
+        return all(self.priority < other for other in relevant)
+
+    def receive(self, round_number: int, inbox: Mapping[Node, object]) -> None:
+        if self.state != self.UNDECIDED:
+            return
+        if round_number % 2 == 1:
+            self.neighbor_priorities = {sender: tuple(payload)
+                                        for sender, payload in inbox.items()}
+            return
+        joined_neighbor = bool(inbox)
+        if self._is_local_minimum():
+            self.state = self.IN_MIS
+            self.halt(True)
+        elif joined_neighbor:
+            self.state = self.DOMINATED
+            self.halt(False)
+
+    def finalize(self) -> None:
+        if not self.halted:
+            self.halt(self.state == self.IN_MIS)

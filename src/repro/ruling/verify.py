@@ -1,0 +1,148 @@
+"""Verification of independent sets, dominating sets and ruling sets.
+
+All checks measure distances in the *communication graph* ``G`` (as the
+paper does): an ``(alpha, beta)``-ruling set is ``alpha``-independent and
+``beta``-dominating in ``G``; an MIS of ``G^k`` is a ``(k+1, k)``-ruling set
+of ``G``.  The checkers are used by every test and by the benchmark harness
+to certify algorithm outputs before timing them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.graphs.power import bounded_bfs
+
+Node = Hashable
+
+__all__ = [
+    "UNREACHABLE",
+    "RulingSetReport",
+    "domination_radius",
+    "independence_radius",
+    "is_alpha_independent",
+    "is_beta_dominating",
+    "is_mis_of_power_graph",
+    "is_ruling_set",
+    "verify_ruling_set",
+]
+
+#: Sentinel distance returned when two nodes are in different components (or a
+#: set is empty): larger than any finite distance and any alpha / beta
+#: parameter a caller could reasonably pass.
+UNREACHABLE = 1 << 30
+
+
+def independence_radius(graph: nx.Graph, subset: Iterable[Node]) -> int:
+    """The minimum pairwise distance within ``subset``.
+
+    A set with independence radius ``r`` is ``alpha``-independent for every
+    ``alpha <= r``.  Pairs in different connected components count as
+    infinitely far apart; if no finite pair exists the sentinel
+    :data:`UNREACHABLE` is returned.
+    """
+    subset = set(subset)
+    if len(subset) < 2:
+        return UNREACHABLE
+    best = UNREACHABLE
+    for node in subset:
+        distances = bounded_bfs(graph, node, min(best, graph.number_of_nodes()))
+        for other, dist in distances.items():
+            if other != node and other in subset and 0 < dist < best:
+                best = dist
+    return best
+
+
+def domination_radius(graph: nx.Graph, subset: Iterable[Node],
+                      targets: Iterable[Node] | None = None) -> int:
+    """The maximum distance from a target node to ``subset``.
+
+    Unreachable targets (or an empty subset) yield :data:`UNREACHABLE`.
+    """
+    subset = set(subset)
+    targets = list(graph.nodes()) if targets is None else list(targets)
+    if not targets:
+        return 0
+    unreachable = UNREACHABLE
+    if not subset:
+        return unreachable
+    distances: dict[Node, int] = {node: 0 for node in subset if node in graph}
+    frontier = deque(distances)
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                frontier.append(neighbor)
+    return max(distances.get(node, unreachable) for node in targets)
+
+
+def is_alpha_independent(graph: nx.Graph, subset: Iterable[Node], alpha: int) -> bool:
+    """True iff all distinct members of ``subset`` are at distance >= ``alpha``."""
+    return independence_radius(graph, subset) >= alpha
+
+
+def is_beta_dominating(graph: nx.Graph, subset: Iterable[Node], beta: int,
+                       targets: Iterable[Node] | None = None) -> bool:
+    """True iff every target node has a member of ``subset`` within ``beta`` hops."""
+    return domination_radius(graph, subset, targets) <= beta
+
+
+def is_ruling_set(graph: nx.Graph, subset: Iterable[Node], alpha: int, beta: int,
+                  targets: Iterable[Node] | None = None) -> bool:
+    """True iff ``subset`` is an ``(alpha, beta)``-ruling set (of ``targets``)."""
+    subset = set(subset)
+    return (is_alpha_independent(graph, subset, alpha)
+            and is_beta_dominating(graph, subset, beta, targets))
+
+
+def is_mis_of_power_graph(graph: nx.Graph, subset: Iterable[Node], k: int,
+                          targets: Iterable[Node] | None = None) -> bool:
+    """True iff ``subset`` is a maximal independent set of ``G^k``.
+
+    Equivalently (Section 2): a ``(k+1, k)``-ruling set of ``G`` restricted
+    to ``targets`` (``targets`` defaults to all nodes; the restricted variant
+    is used for MIS of induced power subgraphs ``G^k[Q]``, where only nodes
+    of ``Q`` need to be dominated).
+    """
+    return is_ruling_set(graph, subset, alpha=k + 1, beta=k, targets=targets)
+
+
+@dataclass
+class RulingSetReport:
+    """Quantitative report of a candidate ruling set."""
+
+    size: int
+    independence: int
+    domination: int
+    alpha: int
+    beta: int
+
+    @property
+    def independent_ok(self) -> bool:
+        return self.independence >= self.alpha
+
+    @property
+    def dominating_ok(self) -> bool:
+        return self.domination <= self.beta
+
+    @property
+    def ok(self) -> bool:
+        return self.independent_ok and self.dominating_ok
+
+
+def verify_ruling_set(graph: nx.Graph, subset: Iterable[Node], alpha: int, beta: int,
+                      targets: Iterable[Node] | None = None) -> RulingSetReport:
+    """Measure independence and domination of ``subset`` against ``(alpha, beta)``."""
+    subset = set(subset)
+    return RulingSetReport(
+        size=len(subset),
+        independence=independence_radius(graph, subset),
+        domination=domination_radius(graph, subset, targets),
+        alpha=alpha,
+        beta=beta,
+    )

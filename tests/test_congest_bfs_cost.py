@@ -1,0 +1,113 @@
+"""Tests for BFS trees, leader election and the analytic round ledger."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest import CongestNetwork, RoundLedger, build_bfs_tree, build_spanning_bfs_tree, elect_leader
+from repro.congest.bfs import extend_bfs_tree
+from repro.graphs import random_regular_graph
+
+
+class TestBFSTree:
+    def test_depth_limited_tree(self):
+        graph = nx.path_graph(10)
+        tree = build_bfs_tree(graph, 0, depth=3)
+        assert tree.nodes == {0, 1, 2, 3}
+        tree.validate(graph)
+
+    def test_tree_structure_fields(self):
+        graph = random_regular_graph(30, 4, seed=1)
+        root = next(iter(graph.nodes()))
+        tree = build_bfs_tree(graph, root, depth=2)
+        tree.validate(graph)
+        for node in tree.nodes:
+            parent = tree.parent[node]
+            if parent is not None:
+                assert node in tree.children[parent]
+
+    def test_path_to_root(self):
+        graph = nx.path_graph(6)
+        tree = build_bfs_tree(graph, 0, depth=5)
+        assert tree.path_to_root(5) == [5, 4, 3, 2, 1, 0]
+
+    def test_subtree_nodes(self):
+        graph = nx.balanced_tree(2, 3)
+        tree = build_bfs_tree(graph, 0, depth=3)
+        subtree = tree.subtree_nodes(1)
+        assert 1 in subtree
+        assert 0 not in subtree
+        assert len(subtree) == 7  # a binary subtree of height 2
+
+    def test_edges_are_graph_edges(self):
+        graph = random_regular_graph(24, 3, seed=5)
+        tree = build_bfs_tree(graph, next(iter(graph.nodes())), depth=4)
+        for u, v in tree.edges():
+            assert graph.has_edge(u, v)
+
+    def test_extend_bfs_tree(self):
+        graph = nx.path_graph(8)
+        tree = build_bfs_tree(graph, 0, depth=2)
+        extended = extend_bfs_tree(graph, tree, extra_depth=2)
+        assert extended.nodes == {0, 1, 2, 3, 4}
+        extended.validate(graph)
+        # Original tree untouched.
+        assert tree.nodes == {0, 1, 2}
+
+    def test_spanning_tree_and_leader(self):
+        graph = random_regular_graph(40, 4, seed=2)
+        network = CongestNetwork(graph, id_seed=7)
+        leader = elect_leader(network)
+        assert network.node_id(leader) == min(network.ids.values())
+        tree = build_spanning_bfs_tree(network)
+        assert tree.nodes == set(graph.nodes())
+        tree.validate(graph)
+
+    def test_elect_leader_empty_candidates(self):
+        network = CongestNetwork(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            elect_leader(network, candidates=[])
+
+
+class TestRoundLedger:
+    def test_charges_accumulate_and_round_up(self):
+        ledger = RoundLedger(bandwidth_bits=32)
+        assert ledger.charge(0.25, "tiny") == 1
+        assert ledger.charge(3, "exact") == 3
+        assert ledger.charge(0, "free") == 0
+        assert ledger.total_rounds == 4
+
+    def test_primitive_formulas(self):
+        ledger = RoundLedger(bandwidth_bits=64)
+        assert ledger.charge_flooding(5) == 5
+        # Lemma 4.1: hat_delta * a / bandwidth.
+        assert ledger.charge_learn_ids(hat_delta=16, id_bits=8) == 2
+        # Lemma 4.2 broadcast: s + m * hat_delta / bandwidth.
+        assert ledger.charge_broadcast(s=3, message_bits=64, hat_delta=4) == 3 + 4
+        # Lemma 4.2 Q-message: s + (m + a) * hat_delta^2 / bandwidth.
+        assert ledger.charge_q_message(s=2, message_bits=32, id_bits=32, hat_delta=4) == 2 + 16
+        # Lemma 4.3 convergecast.
+        assert ledger.charge_convergecast(diameter=10, message_bits=32) == 11
+        # Claim 5.6 seed bit: 2 * diam + 1.
+        assert ledger.charge_seed_bit(diameter=7) == 15
+
+    def test_grouping_and_merge(self):
+        ledger = RoundLedger()
+        ledger.charge(2, "a")
+        ledger.charge(3, "a")
+        ledger.charge(4, "b")
+        assert ledger.rounds_by_label() == {"a": 5, "b": 4}
+        assert ledger.subtotal(["a"]) == 5
+
+        other = RoundLedger()
+        other.charge(7, "c")
+        ledger.merge(other, prefix="x:")
+        assert ledger.rounds_by_label()["x:c"] == 7
+        assert ledger.total_rounds == 16
+
+    def test_simulated_round_matches_q_message(self):
+        ledger = RoundLedger(bandwidth_bits=64)
+        a = ledger.charge_simulated_round(s=2, message_bits=32, id_bits=32, hat_delta=4)
+        b = ledger.charge_q_message(s=2, message_bits=32, id_bits=32, hat_delta=4)
+        assert a == b

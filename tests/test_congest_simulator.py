@@ -1,0 +1,193 @@
+"""Tests for the CONGEST message-passing simulator and its primitives."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    BandwidthExceededError,
+    CongestNetwork,
+    Message,
+    NodeAlgorithm,
+    Simulator,
+    id_bits,
+    message_bits,
+)
+from repro.congest.primitives import (
+    BFSLayering,
+    ConvergecastSum,
+    FloodingBroadcast,
+    LeaderElection,
+)
+from repro.congest.bfs import build_spanning_bfs_tree
+from repro.graphs import random_regular_graph
+from repro.graphs.properties import graph_diameter
+
+
+class TestMessageAccounting:
+    def test_id_bits(self):
+        assert id_bits(2) == 1
+        assert id_bits(1024) == 10
+        assert id_bits(1025) == 11
+
+    def test_message_bits_scalar(self):
+        assert message_bits(None) == 1
+        assert message_bits(True) == 1
+        assert message_bits(0) >= 1
+        assert message_bits(255) == 9
+        assert message_bits(3.14) == 32
+        assert message_bits("ab") == 16
+
+    def test_message_bits_containers(self):
+        assert message_bits((1, 2)) >= message_bits(1) + message_bits(2)
+        assert message_bits({"a": 1}) >= 8
+
+    def test_message_size_override(self):
+        message = Message(sender=0, receiver=1, payload="x" * 100, size_override=8)
+        assert message.size_bits == 8
+        message = Message(sender=0, receiver=1, payload=7)
+        assert message.size_bits == message_bits(7)
+
+
+class TestCongestNetwork:
+    def test_ids_are_unique_and_bounded(self):
+        graph = random_regular_graph(30, 4, seed=1)
+        network = CongestNetwork(graph, id_seed=42)
+        ids = list(network.ids.values())
+        assert len(set(ids)) == 30
+        assert all(1 <= value <= 30 * 30 for value in ids)
+        assert network.id_bits <= 2 * id_bits(30) + 1
+
+    def test_consecutive_ids_without_seed(self):
+        graph = nx.path_graph(5)
+        network = CongestNetwork(graph, id_seed=None)
+        assert sorted(network.ids.values()) == [1, 2, 3, 4, 5]
+
+    def test_node_id_roundtrip(self):
+        graph = nx.cycle_graph(10)
+        network = CongestNetwork(graph, id_seed=3)
+        for node in graph.nodes():
+            assert network.node_of_id(network.node_id(node)) == node
+
+    def test_bandwidth_scales_with_n(self):
+        small = CongestNetwork(nx.path_graph(4))
+        large = CongestNetwork(nx.path_graph(5000))
+        assert large.bandwidth_bits >= small.bandwidth_bits
+
+    def test_structure_queries(self):
+        graph = nx.star_graph(6)
+        network = CongestNetwork(graph)
+        assert network.max_degree == 6
+        assert network.degree(0) == 6
+        assert len(network) == 7
+        assert network.has_edge(0, 3)
+
+
+class TestSimulatorBasics:
+    def test_flooding_rounds_match_eccentricity(self):
+        graph = nx.path_graph(9)
+        network = CongestNetwork(graph)
+        simulator = Simulator(network,
+                              lambda node: FloodingBroadcast(is_source=(node == 0), value=99))
+        result = simulator.run()
+        assert result.halted
+        assert all(value == 99 for value in result.outputs.values())
+        # Flooding needs ecc(source) rounds to reach the far end (+1 to halt).
+        assert graph_diameter(graph) <= result.rounds <= graph_diameter(graph) + 2
+
+    def test_bfs_layering_outputs_distances(self):
+        graph = random_regular_graph(40, 4, seed=2)
+        network = CongestNetwork(graph)
+        source = next(iter(graph.nodes()))
+        simulator = Simulator(network, lambda node: BFSLayering(is_source=(node == source)))
+        result = simulator.run()
+        expected = nx.single_source_shortest_path_length(graph, source)
+        assert result.outputs == expected
+
+    def test_leader_election_unique_leader(self):
+        graph = nx.cycle_graph(12)
+        network = CongestNetwork(graph, id_seed=5)
+        simulator = Simulator(network, lambda node: LeaderElection(rounds_budget=12))
+        result = simulator.run()
+        leaders = [node for node, is_leader in result.outputs.items() if is_leader]
+        assert len(leaders) == 1
+        assert network.node_id(leaders[0]) == max(network.ids.values())
+
+    def test_convergecast_sum(self):
+        graph = random_regular_graph(30, 4, seed=3)
+        network = CongestNetwork(graph)
+        tree = build_spanning_bfs_tree(network)
+        values = {node: network.node_id(node) % 7 for node in graph.nodes()}
+
+        def factory(node):
+            return ConvergecastSum(parent=tree.parent[node],
+                                   children=tree.children.get(node, set()),
+                                   value=values[node])
+
+        result = Simulator(network, factory).run()
+        assert result.outputs[tree.root] == sum(values.values())
+
+    def test_bandwidth_enforcement(self):
+        graph = nx.path_graph(3)
+        network = CongestNetwork(graph, bandwidth_bits=16)
+
+        class Chatty(NodeAlgorithm):
+            def send(self, round_number):
+                return self.broadcast("x" * 100)
+
+            def receive(self, round_number, inbox):
+                self.halt(True)
+
+        with pytest.raises(BandwidthExceededError):
+            Simulator(network, Chatty).run(max_rounds=3)
+
+        relaxed = Simulator(CongestNetwork(graph, bandwidth_bits=16), Chatty,
+                            enforce_bandwidth=False)
+        result = relaxed.run(max_rounds=3)
+        assert result.total_messages > 0
+
+    def test_sending_to_non_neighbor_rejected(self):
+        graph = nx.path_graph(4)
+        network = CongestNetwork(graph)
+
+        class Rogue(NodeAlgorithm):
+            def send(self, round_number):
+                if self.node == 0:
+                    return {3: "hi"}
+                return {}
+
+            def receive(self, round_number, inbox):
+                self.halt()
+
+        with pytest.raises(ValueError):
+            Simulator(network, Rogue).run(max_rounds=2)
+
+    def test_round_limit(self):
+        graph = nx.path_graph(3)
+        network = CongestNetwork(graph)
+
+        class Forever(NodeAlgorithm):
+            def send(self, round_number):
+                return self.broadcast(1)
+
+        result = Simulator(network, Forever).run(max_rounds=5)
+        assert result.rounds == 5
+        assert not result.halted
+
+    def test_edge_congestion_tracking(self):
+        graph = nx.path_graph(3)
+        network = CongestNetwork(graph)
+
+        class OneShot(NodeAlgorithm):
+            def send(self, round_number):
+                if round_number == 1:
+                    return self.broadcast(1)
+                return {}
+
+            def receive(self, round_number, inbox):
+                self.halt()
+
+        result = Simulator(network, OneShot).run(max_rounds=3)
+        assert result.max_edge_congestion() == 2  # both endpoints used each edge once
+        assert result.total_messages == 4

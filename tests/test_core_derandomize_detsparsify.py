@@ -1,0 +1,158 @@
+"""Tests for the derandomization (Claim 5.6) and DetSparsification (Algorithm 2)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core import check_sparsification, det_sparsification
+from repro.core.derandomize import (
+    derandomize_stage_per_variable,
+    derandomize_stage_seed_bits,
+)
+from repro.core.events import SparsificationStageEvents
+from repro.graphs import erdos_renyi_graph, random_regular_graph
+
+
+def make_stage(n=48, degree=8, stage=1, power=1, seed=1):
+    graph = random_regular_graph(n, degree, seed=seed)
+    events = SparsificationStageEvents(graph=graph, active=set(graph.nodes()),
+                                       stage=stage, delta_a=degree, power=power)
+    return graph, events
+
+
+class TestPerVariableDerandomization:
+    def test_no_bad_events(self):
+        _, events = make_stage()
+        outcome = derandomize_stage_per_variable(events)
+        assert outcome.clean
+        assert outcome.method == "per-variable"
+        assert outcome.sampled <= events.active
+
+    def test_deterministic(self):
+        _, events_a = make_stage(seed=3)
+        _, events_b = make_stage(seed=3)
+        assert (derandomize_stage_per_variable(events_a).sampled
+                == derandomize_stage_per_variable(events_b).sampled)
+
+    def test_high_degree_nodes_get_dominated(self):
+        graph, events = make_stage(n=60, degree=10)
+        outcome = derandomize_stage_per_variable(events)
+        for node in events.high_degree_nodes:
+            covered = node in outcome.sampled or (events.active_neighbors[node] & outcome.sampled)
+            assert covered, f"high-degree node {node} not covered"
+
+    def test_degree_bound_respected(self):
+        graph, events = make_stage(n=80, degree=12)
+        outcome = derandomize_stage_per_variable(events)
+        for node in graph.nodes():
+            assert len(events.active_neighbors[node] & outcome.sampled) <= events.threshold
+
+    def test_custom_order(self):
+        _, events = make_stage()
+        order = sorted(events.active, key=str, reverse=True)
+        outcome = derandomize_stage_per_variable(events, order=order)
+        assert outcome.clean
+
+    def test_empty_active_set(self):
+        graph = nx.path_graph(5)
+        events = SparsificationStageEvents(graph=graph, active=set(), stage=1, delta_a=2)
+        outcome = derandomize_stage_per_variable(events)
+        assert outcome.sampled == set()
+        assert outcome.clean
+
+
+class TestSeedBitDerandomization:
+    def test_no_bad_events_after_repair(self):
+        _, events = make_stage(n=36, degree=6)
+        node_ids = {node: index + 1 for index, node in enumerate(sorted(events.graph.nodes()))}
+        outcome = derandomize_stage_seed_bits(events, node_ids, rng=random.Random(0),
+                                              samples_per_bit=4)
+        assert outcome.clean
+        assert outcome.seed is not None
+        assert outcome.bits_fixed > 0
+
+    def test_without_repair_reports_residuals(self):
+        _, events = make_stage(n=36, degree=6, seed=2)
+        node_ids = {node: index + 1 for index, node in enumerate(sorted(events.graph.nodes()))}
+        outcome = derandomize_stage_seed_bits(events, node_ids, rng=random.Random(1),
+                                              samples_per_bit=2, repair=False)
+        # Residual events are allowed without repair, but the structure must be reported.
+        assert outcome.method == "seed-bits"
+        assert isinstance(outcome.residual_phi, set)
+        assert isinstance(outcome.residual_psi, set)
+
+    def test_empty_active_set(self):
+        graph = nx.path_graph(4)
+        events = SparsificationStageEvents(graph=graph, active=set(), stage=1, delta_a=2)
+        outcome = derandomize_stage_seed_bits(events, {node: node + 1 for node in graph.nodes()})
+        assert outcome.sampled == set()
+
+
+class TestDetSparsification:
+    def test_invalid_method(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            det_sparsification(graph, method="nope")
+
+    @pytest.mark.parametrize("method", ["per-variable", "randomized"])
+    def test_lemma_5_1_guarantees(self, method):
+        graph = random_regular_graph(120, 16, seed=7)
+        result = det_sparsification(graph, method=method, rng=random.Random(4))
+        check = check_sparsification(graph, set(graph.nodes()), result.q)
+        assert check.degree_ok
+        assert check.domination_ok
+        if method == "per-variable":
+            assert result.total_violations == 0
+
+    def test_seed_bits_method_on_small_graph(self):
+        graph = random_regular_graph(32, 6, seed=8)
+        result = det_sparsification(graph, method="seed-bits", rng=random.Random(0),
+                                    seed_bit_samples=3)
+        check = check_sparsification(graph, set(graph.nodes()), result.q)
+        assert check.degree_ok
+        assert check.domination_ok
+        assert result.total_violations == 0
+
+    def test_deterministic_output(self):
+        graph = random_regular_graph(100, 16, seed=9)
+        first = det_sparsification(graph, method="per-variable")
+        second = det_sparsification(graph, method="per-variable")
+        assert first.q == second.q
+
+    def test_active_subset_respected(self):
+        graph = erdos_renyi_graph(90, expected_degree=12, seed=10)
+        active = set(list(graph.nodes())[::2])
+        result = det_sparsification(graph, active=active, method="per-variable")
+        assert result.q <= active
+        check = check_sparsification(graph, active, result.q)
+        assert check.degree_ok
+        assert check.domination_ok
+
+    def test_small_delta_short_circuit(self):
+        graph = random_regular_graph(20, 3, seed=11)
+        result = det_sparsification(graph, method="per-variable")
+        assert result.q == set(graph.nodes())
+        assert result.stages == []
+
+    def test_stage_records_track_active_shrinkage(self):
+        graph = random_regular_graph(160, 32, seed=12)
+        result = det_sparsification(graph, method="per-variable")
+        for record in result.stages:
+            assert record.active_after <= record.active_before
+
+    def test_rounds_scale_with_diameter_hint(self):
+        graph = random_regular_graph(128, 32, seed=13)
+        cheap = det_sparsification(graph, method="per-variable", diameter_hint=2)
+        pricey = det_sparsification(graph, method="per-variable", diameter_hint=50)
+        if cheap.stages:
+            assert pricey.rounds > cheap.rounds
+
+    def test_power_two_guarantees(self):
+        graph = random_regular_graph(70, 5, seed=14)
+        result = det_sparsification(graph, power=2, method="per-variable")
+        check = check_sparsification(graph, set(graph.nodes()), result.q, power=2)
+        assert check.degree_ok
+        assert check.domination_ok

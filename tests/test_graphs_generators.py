@@ -1,0 +1,122 @@
+"""Tests for the workload graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    caterpillar_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_regular_graph,
+    random_tree,
+    ring_of_cliques,
+    star_graph,
+    unit_disk_graph,
+)
+from repro.graphs.generators import workload_suite
+from repro.graphs.properties import is_connected, max_degree
+
+
+class TestRandomRegular:
+    def test_degree_and_size(self):
+        graph = random_regular_graph(30, 4, seed=1)
+        assert graph.number_of_nodes() == 30
+        assert all(degree == 4 for _, degree in graph.degree())
+
+    def test_odd_product_is_fixed_up(self):
+        # n * degree odd -> generator adjusts the degree instead of failing.
+        graph = random_regular_graph(15, 3, seed=1)
+        assert graph.number_of_nodes() == 15
+        assert max_degree(graph) >= 3
+
+    def test_degree_too_large_raises(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 10)
+
+    def test_reproducible(self):
+        a = random_regular_graph(30, 4, seed=9)
+        b = random_regular_graph(30, 4, seed=9)
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self):
+        graph = erdos_renyi_graph(50, expected_degree=2.0, seed=4)
+        assert is_connected(graph)
+
+    def test_requires_probability_or_degree(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10)
+
+    def test_expected_degree_controls_density(self):
+        sparse = erdos_renyi_graph(80, expected_degree=2.0, seed=1)
+        dense = erdos_renyi_graph(80, expected_degree=10.0, seed=1)
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_nodes_relabelled_consecutively(self):
+        graph = erdos_renyi_graph(25, p=0.2, seed=2)
+        assert set(graph.nodes()) == set(range(25))
+
+
+class TestUnitDisk:
+    def test_connected_and_has_positions(self):
+        graph = unit_disk_graph(40, seed=3)
+        assert is_connected(graph)
+        positions = nx.get_node_attributes(graph, "pos")
+        assert len(positions) == 40
+
+    def test_radius_controls_density(self):
+        small = unit_disk_graph(60, radius=0.08, seed=5, connect=False)
+        large = unit_disk_graph(60, radius=0.4, seed=5, connect=False)
+        assert large.number_of_edges() > small.number_of_edges()
+
+
+class TestStructuredFamilies:
+    def test_grid(self):
+        graph = grid_graph(4, 6)
+        assert graph.number_of_nodes() == 24
+        assert max_degree(graph) <= 4
+
+    def test_path_and_star(self):
+        path = path_graph(10)
+        assert path.number_of_edges() == 9
+        star = star_graph(10)
+        assert max_degree(star) == 9
+
+    def test_random_tree_is_tree(self):
+        tree = random_tree(33, seed=8)
+        assert tree.number_of_edges() == 32
+        assert nx.is_tree(tree)
+
+    def test_random_tree_tiny(self):
+        assert random_tree(1).number_of_nodes() == 1
+        assert random_tree(0).number_of_nodes() == 0
+
+    def test_caterpillar_structure(self):
+        graph = caterpillar_graph(spine=6, legs_per_node=3)
+        assert graph.number_of_nodes() == 6 + 18
+        # Spine nodes have degree legs + (1 or 2); leaves have degree 1.
+        leaves = [node for node, degree in graph.degree() if degree == 1]
+        assert len(leaves) == 18
+
+    def test_ring_of_cliques(self):
+        graph = ring_of_cliques(5, 4)
+        assert is_connected(graph)
+        assert graph.number_of_nodes() == 20
+
+    def test_power_law_connected(self):
+        graph = power_law_graph(60, seed=6)
+        assert is_connected(graph)
+        assert graph.number_of_nodes() == 60
+
+
+class TestWorkloadSuite:
+    def test_suite_contains_all_families(self):
+        suite = workload_suite([30], seed=1)
+        assert set(suite) == {"regular-30", "er-30", "udg-30"}
+        for graph in suite.values():
+            assert graph.number_of_nodes() == 30

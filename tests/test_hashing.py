@@ -1,0 +1,121 @@
+"""Tests for the k-wise independent hash families and bit seeds (Lemma 2.3)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing import BitSeed, KWiseHashFamily, seed_from_bits
+from repro.hashing.kwise import next_prime
+
+
+class TestPrimes:
+    def test_next_prime_small(self):
+        assert next_prime(2) == 2
+        assert next_prime(4) == 5
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+
+    def test_next_prime_large(self):
+        p = next_prime(10 ** 6)
+        assert p >= 10 ** 6
+        assert all(p % q for q in range(2, 1000))
+
+
+class TestBitSeed:
+    def test_sequence_protocol(self):
+        seed = BitSeed([1, 0, 1])
+        assert len(seed) == 3
+        assert seed[0] == 1
+        assert list(seed) == [1, 0, 1]
+        assert seed == [1, 0, 1]
+        assert seed[0:2] == BitSeed([1, 0])
+
+    def test_extended_and_padded(self):
+        seed = BitSeed([1])
+        assert list(seed.extended(0)) == [1, 0]
+        assert list(seed.padded(4)) == [1, 0, 0, 0]
+        assert list(BitSeed([1, 1, 1]).padded(2)) == [1, 1]
+
+    def test_as_int_and_hash(self):
+        assert BitSeed([1, 0, 1]).as_int() == 5
+        assert hash(BitSeed([1, 0])) == hash(seed_from_bits([1, 0]))
+
+    def test_normalises_truthy_values(self):
+        assert list(BitSeed([2, 0, "x"])) == [1, 0, 1]
+
+
+class TestKWiseFamily:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KWiseHashFamily(0, 10, 10)
+        with pytest.raises(ValueError):
+            KWiseHashFamily(2, 10, 0)
+
+    def test_output_range_respected(self):
+        family = KWiseHashFamily(independence=4, domain=100, output_range=17)
+        rng = random.Random(0)
+        function = family.sample(rng)
+        assert all(0 <= function(x) < 17 for x in range(100))
+
+    def test_seed_roundtrip_deterministic(self):
+        family = KWiseHashFamily(independence=3, domain=50, output_range=8)
+        rng = random.Random(1)
+        seed = family.random_seed(rng)
+        assert len(seed) == family.seed_bits
+        f1 = family.from_seed(seed)
+        f2 = family.from_seed(seed)
+        assert [f1(x) for x in range(50)] == [f2(x) for x in range(50)]
+
+    def test_short_seed_is_padded(self):
+        family = KWiseHashFamily(independence=2, domain=20, output_range=4)
+        truncated = family.from_seed(BitSeed([1, 0, 1]))
+        full = family.from_seed(BitSeed([1, 0, 1]).padded(family.seed_bits))
+        assert [truncated(x) for x in range(20)] == [full(x) for x in range(20)]
+
+    def test_approximate_uniformity(self):
+        """Averaged over random functions, each bucket is hit ~uniformly."""
+        family = KWiseHashFamily(independence=2, domain=64, output_range=4)
+        rng = random.Random(42)
+        counts = Counter()
+        trials = 400
+        for _ in range(trials):
+            function = family.sample(rng)
+            counts[function(17)] += 1
+        expected = trials / 4
+        for bucket in range(4):
+            assert abs(counts[bucket] - expected) < 0.35 * trials
+
+    def test_pairwise_independence_statistics(self):
+        """For a pairwise-independent family, P(h(x)=a and h(y)=b) ~ 1/L^2."""
+        family = KWiseHashFamily(independence=2, domain=32, output_range=2)
+        rng = random.Random(7)
+        joint = Counter()
+        trials = 2000
+        for _ in range(trials):
+            function = family.sample(rng)
+            joint[(function(3), function(21))] += 1
+        for pair in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            assert abs(joint[pair] / trials - 0.25) < 0.08
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=2, max_value=200),
+           st.integers(min_value=1, max_value=64))
+    def test_field_value_is_polynomial(self, independence, domain, output_range):
+        family = KWiseHashFamily(independence, domain, output_range)
+        rng = random.Random(independence * domain + output_range)
+        function = family.sample(rng)
+        x = rng.randrange(domain)
+        expected = sum(coefficient * pow(x, power, family.prime)
+                       for power, coefficient in enumerate(function.coefficients)) % family.prime
+        assert function.field_value(x) == expected
+        assert function(x) == expected % output_range
+
+    def test_seed_bits_formula(self):
+        family = KWiseHashFamily(independence=5, domain=1000, output_range=100)
+        assert family.seed_bits == 5 * family.bits_per_coefficient
+        assert family.prime > 64 * 1000

@@ -1,0 +1,141 @@
+"""Tests for the shattering MIS of G (Theorem 1.4, Section 7)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import erdos_renyi_graph, random_regular_graph, ring_of_cliques
+from repro.mis.shattering import (
+    component_size_bound,
+    is_s_connected,
+    pre_shattering,
+    shattering_mis,
+)
+from repro.ruling import greedy_ruling_set, is_alpha_independent, is_mis_of_power_graph
+from repro.ruling.verify import independence_radius
+
+
+class TestPreShattering:
+    def test_outputs_are_consistent(self):
+        graph = random_regular_graph(100, 6, seed=1)
+        mis, undecided = pre_shattering(graph, rng=random.Random(1))
+        assert is_alpha_independent(graph, mis, 2)
+        # Undecided nodes have no neighbor in the independent set.
+        for node in undecided:
+            assert node not in mis
+            assert not any(neighbor in mis for neighbor in graph.neighbors(node))
+
+    def test_residual_components_are_small(self):
+        """Lemma 7.3 (P2): residual components are far below the paper's bound."""
+        graph = random_regular_graph(300, 8, seed=2)
+        _, undecided = pre_shattering(graph, rng=random.Random(2))
+        bound = component_size_bound(300, 8)
+        for component in nx.connected_components(graph.subgraph(undecided)):
+            assert len(component) <= bound
+
+    def test_more_steps_decide_more_nodes(self):
+        graph = random_regular_graph(150, 8, seed=3)
+        _, undecided_short = pre_shattering(graph, steps=1, rng=random.Random(3))
+        _, undecided_long = pre_shattering(graph, steps=60, rng=random.Random(3))
+        assert len(undecided_long) <= len(undecided_short)
+
+    def test_rounds_charged(self):
+        from repro.congest.cost import RoundLedger
+        graph = random_regular_graph(60, 4, seed=4)
+        ledger = RoundLedger()
+        pre_shattering(graph, rng=random.Random(4), ledger=ledger)
+        assert ledger.total_rounds >= 2
+
+
+class TestConnectivityHelpers:
+    def test_is_s_connected(self):
+        graph = nx.path_graph(10)
+        assert is_s_connected(graph, {0, 2, 4}, 2)
+        assert not is_s_connected(graph, {0, 5}, 2)
+        assert is_s_connected(graph, {3}, 1)
+        assert is_s_connected(graph, set(), 1)
+
+    def test_component_size_bound_monotone(self):
+        assert component_size_bound(1000, 8) >= component_size_bound(100, 8)
+        assert component_size_bound(100, 16) >= component_size_bound(100, 4)
+
+    def test_lemma_7_2_connectivity_of_ruling_sets(self):
+        """A (5, 4)-ruling set of an s-connected set is (s + 8)-connected."""
+        rng = random.Random(5)
+        graph = erdos_renyi_graph(120, expected_degree=5, seed=5)
+        nodes = sorted(graph.nodes())
+        for trial in range(5):
+            seed_node = rng.choice(nodes)
+            # Grow an s-connected set (s = 1: a plain connected subgraph).
+            subset = {seed_node}
+            frontier = [seed_node]
+            while frontier and len(subset) < 30:
+                current = frontier.pop()
+                for neighbor in graph.neighbors(current):
+                    if neighbor not in subset and rng.random() < 0.7:
+                        subset.add(neighbor)
+                        frontier.append(neighbor)
+            if len(subset) < 5:
+                continue
+            assert is_s_connected(graph, subset, 1)
+            ruling = greedy_ruling_set(graph, alpha=5, targets=subset)
+            # Lemma 7.2 with alpha=5, beta=4, s=1: R is 5-independent and
+            # (1 + 2*4) = 9-connected.
+            assert independence_radius(graph, ruling) >= 5 or len(ruling) < 2
+            assert is_s_connected(graph, ruling, 9)
+
+
+class TestShatteringMIS:
+    @pytest.mark.parametrize("approach", ["two-phase", "one-phase"])
+    def test_produces_valid_mis(self, approach):
+        graph = random_regular_graph(150, 6, seed=6)
+        result = shattering_mis(graph, approach=approach, rng=random.Random(6))
+        assert is_mis_of_power_graph(graph, result.mis, 1)
+        assert result.approach == approach
+
+    def test_invalid_approach(self):
+        with pytest.raises(ValueError):
+            shattering_mis(nx.path_graph(4), approach="three-phase")
+
+    def test_pre_shattering_subset_of_final(self):
+        graph = random_regular_graph(100, 5, seed=7)
+        result = shattering_mis(graph, rng=random.Random(7))
+        assert result.pre_shattering_mis <= result.mis
+
+    def test_diagnostics_are_populated(self):
+        graph = erdos_renyi_graph(150, expected_degree=8, seed=8)
+        result = shattering_mis(graph, rng=random.Random(8), pre_steps=3)
+        # Truncated pre-shattering leaves residual components to report on.
+        assert result.undecided_after_pre
+        assert result.component_sizes
+        assert result.max_component_size == max(result.component_sizes)
+        assert is_mis_of_power_graph(graph, result.mis, 1)
+
+    def test_rounds_breakdown(self):
+        graph = random_regular_graph(120, 6, seed=9)
+        result = shattering_mis(graph, rng=random.Random(9), pre_steps=4)
+        labels = result.ledger.rounds_by_label()
+        assert "pre-shattering-step" in labels
+        assert result.rounds == result.ledger.total_rounds
+
+    def test_works_on_clustered_workload(self):
+        graph = ring_of_cliques(10, 6)
+        result = shattering_mis(graph, rng=random.Random(10))
+        assert is_mis_of_power_graph(graph, result.mis, 1)
+
+    def test_truncated_pre_shattering_still_correct(self):
+        """Even with pre_steps=0 the safety completion yields a valid MIS."""
+        graph = random_regular_graph(80, 5, seed=11)
+        result = shattering_mis(graph, rng=random.Random(11), pre_steps=1)
+        assert is_mis_of_power_graph(graph, result.mis, 1)
+
+    def test_disconnected_graph(self):
+        graph = nx.disjoint_union(nx.cycle_graph(10), nx.path_graph(8))
+        result = shattering_mis(graph, rng=random.Random(12))
+        for component in nx.connected_components(graph):
+            sub_mis = result.mis & component
+            assert sub_mis
+        assert is_alpha_independent(graph, result.mis, 2)

@@ -1,0 +1,154 @@
+"""Tests for the AGLP baselines (Theorem 6.1 / Corollary 6.2) and Theorem 1.1."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest.cost import RoundLedger
+from repro.graphs import erdos_renyi_graph, random_regular_graph, random_tree
+from repro.ruling import (
+    aglp_ruling_set,
+    deterministic_power_ruling_set,
+    id_based_ruling_set,
+    verify_ruling_set,
+)
+from repro.ruling.det_ruling_set import fgg_mis_round_bound
+
+
+class TestAGLP:
+    def test_invalid_parameters(self):
+        graph = nx.path_graph(5)
+        ids = {node: node + 1 for node in graph.nodes()}
+        with pytest.raises(ValueError):
+            aglp_ruling_set(graph, 1, ids, base=1)
+        with pytest.raises(ValueError):
+            aglp_ruling_set(graph, 0, ids)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("base", [2, 4])
+    def test_theorem_6_1_guarantees(self, k, base):
+        graph = random_regular_graph(50, 4, seed=k * 10 + base)
+        ids = {node: index + 1 for index, node in enumerate(sorted(graph.nodes()))}
+        result = aglp_ruling_set(graph, k, ids, base=base)
+        report = verify_ruling_set(graph, result.ruling_set, alpha=k + 1,
+                                   beta=result.domination_bound)
+        assert report.ok, (report.independence, report.domination, result.domination_bound)
+
+    def test_proper_coloring_input(self):
+        """With a gamma-coloring of G^k the domination is k * ceil(log_B gamma)."""
+        graph = nx.cycle_graph(24)
+        k = 2
+        # Distance-2 coloring of a cycle with 4 colors (24 divisible by 4).
+        coloring = {node: node % 4 for node in graph.nodes()}
+        result = aglp_ruling_set(graph, k, coloring, base=2)
+        assert result.digits == 2
+        report = verify_ruling_set(graph, result.ruling_set, alpha=k + 1,
+                                   beta=result.domination_bound)
+        assert report.ok
+
+    def test_rounds_scale_with_base_and_digits(self):
+        graph = random_regular_graph(60, 4, seed=3)
+        ids = {node: index + 1 for index, node in enumerate(sorted(graph.nodes()))}
+        small_base = aglp_ruling_set(graph, 2, ids, base=2)
+        large_base = aglp_ruling_set(graph, 2, ids, base=16)
+        # Larger base -> fewer digits (better domination), more rounds per digit.
+        assert large_base.digits < small_base.digits
+        assert large_base.domination_bound < small_base.domination_bound
+
+    def test_nonempty_output(self):
+        graph = random_tree(40, seed=4)
+        ids = {node: index + 1 for index, node in enumerate(sorted(graph.nodes()))}
+        result = aglp_ruling_set(graph, 2, ids, base=2)
+        assert result.ruling_set
+
+
+class TestIdBasedRulingSet:
+    @pytest.mark.parametrize("c", [1, 2, 3])
+    def test_corollary_6_2_guarantees(self, c):
+        graph = random_regular_graph(60, 5, seed=c)
+        k = 2
+        result = id_based_ruling_set(graph, k, c)
+        # Domination bound is k * ceil(log_B gamma) <= k * (c + 1) (the "+1"
+        # absorbs the ceiling when the ID space slightly exceeds n).
+        assert result.domination_bound <= k * (c + 1)
+        report = verify_ruling_set(graph, result.ruling_set, alpha=k + 1,
+                                   beta=result.domination_bound)
+        assert report.ok
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            id_based_ruling_set(nx.path_graph(4), 1, 0)
+
+    def test_rounds_grow_as_n_to_one_over_c(self):
+        k, c = 2, 2
+        small = id_based_ruling_set(random_regular_graph(40, 4, seed=1), k, c)
+        large = id_based_ruling_set(random_regular_graph(160, 4, seed=1), k, c)
+        assert large.rounds > small.rounds
+
+
+class TestTheorem11:
+    def test_fgg_round_bound_monotone(self):
+        assert fgg_mis_round_bound(100, 4) <= fgg_mis_round_bound(100, 64)
+        assert fgg_mis_round_bound(100, 8) <= fgg_mis_round_bound(10_000, 8)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_ruling_set_guarantees(self, k):
+        graph = random_regular_graph(60, 4, seed=20 + k)
+        result = deterministic_power_ruling_set(graph, k)
+        assert result.alpha == k + 1
+        assert result.beta_bound <= k * k + k  # (k-1)^2 + (k-1) + k <= k^2 + k
+        report = verify_ruling_set(graph, result.ruling_set, alpha=result.alpha,
+                                   beta=result.beta_bound)
+        assert report.ok, (report.independence, report.domination, result.beta_bound)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            deterministic_power_ruling_set(nx.path_graph(4), 0)
+
+    def test_phase_breakdown_present(self):
+        graph = random_regular_graph(50, 4, seed=30)
+        result = deterministic_power_ruling_set(graph, 2)
+        assert set(result.phase_rounds) == {"sparsification", "communication-tools", "mis"}
+        assert result.rounds == sum(result.phase_rounds.values())
+
+    def test_ruling_set_subset_of_sparse_set(self):
+        graph = random_regular_graph(60, 5, seed=31)
+        result = deterministic_power_ruling_set(graph, 3)
+        assert result.ruling_set <= result.q
+
+    def test_deterministic(self):
+        graph = random_regular_graph(40, 4, seed=32)
+        first = deterministic_power_ruling_set(graph, 2)
+        second = deterministic_power_ruling_set(graph, 2)
+        assert first.ruling_set == second.ruling_set
+
+    def test_with_network_decomposition_sparsifier(self):
+        graph = random_regular_graph(50, 4, seed=33)
+        result = deterministic_power_ruling_set(graph, 2, use_network_decomposition=True,
+                                                rng=random.Random(1))
+        report = verify_ruling_set(graph, result.ruling_set, alpha=3,
+                                   beta=result.beta_bound + 2 * (2 - 1))
+        assert report.independent_ok
+        # Domination may pick up the extra 2k slack of Lemma 5.8's cross-cluster
+        # deactivation; it must still be O(k^2).
+        assert report.domination <= 2 * 2 + 2 + 4
+
+    def test_k1_reduces_to_plain_mis(self):
+        graph = erdos_renyi_graph(50, expected_degree=5, seed=34)
+        result = deterministic_power_ruling_set(graph, 1)
+        report = verify_ruling_set(graph, result.ruling_set, alpha=2, beta=1)
+        assert report.ok
+
+    def test_rounds_polylogarithmic_shape(self):
+        """Theorem 1.1's rounds grow ~polylog(n), far slower than the baseline."""
+        small_graph = random_regular_graph(40, 4, seed=35)
+        large_graph = random_regular_graph(320, 4, seed=35)
+        small = deterministic_power_ruling_set(small_graph, 2)
+        large = deterministic_power_ruling_set(large_graph, 2)
+        growth = large.rounds / max(1, small.rounds)
+        # 8x more nodes must cost far less than 8x more rounds (polylog shape):
+        assert growth < 8

@@ -1,0 +1,149 @@
+"""Tests for ruling-set verification and the greedy reference algorithms."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import power_graph, random_regular_graph
+from repro.ruling import (
+    domination_radius,
+    greedy_mis,
+    greedy_ruling_set,
+    independence_radius,
+    is_alpha_independent,
+    is_beta_dominating,
+    is_mis_of_power_graph,
+    is_ruling_set,
+    lexicographic_mis,
+    verify_ruling_set,
+)
+
+
+def random_graphs() -> st.SearchStrategy[nx.Graph]:
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=18))
+        p = draw(st.floats(min_value=0.05, max_value=0.6))
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        return nx.gnp_random_graph(n, p, seed=seed)
+
+    return build()
+
+
+class TestRadii:
+    def test_independence_radius_path(self):
+        from repro.ruling.verify import UNREACHABLE
+        graph = nx.path_graph(10)
+        assert independence_radius(graph, {0, 4, 9}) == 4
+        assert independence_radius(graph, {0}) == UNREACHABLE
+        assert independence_radius(graph, set()) == UNREACHABLE
+
+    def test_independence_radius_disconnected(self):
+        from repro.ruling.verify import UNREACHABLE
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        # Two isolated nodes are infinitely far apart: independent for any alpha.
+        assert independence_radius(graph, {0, 1}) == UNREACHABLE
+        assert is_alpha_independent(graph, {0, 1}, alpha=4)
+
+    def test_domination_radius_path(self):
+        from repro.ruling.verify import UNREACHABLE
+        graph = nx.path_graph(10)
+        assert domination_radius(graph, {0}) == 9
+        assert domination_radius(graph, {4}) == 5
+        assert domination_radius(graph, {0, 9}, targets={5}) == 4
+        assert domination_radius(graph, set()) == UNREACHABLE
+
+    def test_domination_radius_disconnected(self):
+        from repro.ruling.verify import UNREACHABLE
+        graph = nx.Graph([(0, 1), (2, 3)])
+        # A dominator in only one component cannot dominate the other, no
+        # matter how large beta is.
+        assert domination_radius(graph, {0}) == UNREACHABLE
+        assert not is_beta_dominating(graph, {0}, beta=100)
+
+    def test_predicates(self):
+        graph = nx.cycle_graph(12)
+        subset = {0, 4, 8}
+        assert is_alpha_independent(graph, subset, 4)
+        assert not is_alpha_independent(graph, subset, 5)
+        assert is_beta_dominating(graph, subset, 2)
+        assert not is_beta_dominating(graph, subset, 1)
+        assert is_ruling_set(graph, subset, alpha=4, beta=2)
+
+    def test_verify_report(self):
+        graph = nx.cycle_graph(12)
+        report = verify_ruling_set(graph, {0, 4, 8}, alpha=4, beta=2)
+        assert report.ok
+        assert report.size == 3
+        assert report.independence == 4
+        assert report.domination == 2
+        bad = verify_ruling_set(graph, {0, 1}, alpha=3, beta=1)
+        assert not bad.independent_ok
+
+
+class TestGreedyAlgorithms:
+    def test_lexicographic_mis_is_mis(self):
+        graph = random_regular_graph(40, 4, seed=1)
+        mis = lexicographic_mis(graph)
+        assert is_mis_of_power_graph(graph, mis, 1)
+
+    def test_greedy_mis_power(self):
+        graph = random_regular_graph(40, 4, seed=2)
+        for k in (1, 2, 3):
+            mis = greedy_mis(graph, k)
+            assert is_mis_of_power_graph(graph, mis, k)
+
+    def test_greedy_mis_with_candidates(self):
+        graph = random_regular_graph(40, 4, seed=3)
+        candidates = set(list(graph.nodes())[:20])
+        mis = greedy_mis(graph, 2, candidates=candidates)
+        assert mis <= candidates
+        assert is_alpha_independent(graph, mis, 3)
+        # Dominates the candidate set within k hops.
+        assert domination_radius(graph, mis, targets=candidates) <= 2
+
+    def test_greedy_mis_matches_power_graph_mis(self):
+        graph = random_regular_graph(30, 4, seed=4)
+        k = 2
+        mis = greedy_mis(graph, k, key=str)
+        power = power_graph(graph, k)
+        assert lexicographic_mis(power, key=str) == mis
+
+    def test_greedy_ruling_set(self):
+        graph = random_regular_graph(50, 4, seed=5)
+        ruling = greedy_ruling_set(graph, alpha=5)
+        assert is_ruling_set(graph, ruling, alpha=5, beta=4)
+
+    def test_greedy_ruling_set_of_targets(self):
+        graph = nx.path_graph(30)
+        targets = set(range(0, 30, 3))
+        ruling = greedy_ruling_set(graph, alpha=4, targets=targets)
+        assert ruling <= targets
+        assert is_alpha_independent(graph, ruling, 4)
+        assert domination_radius(graph, ruling, targets=targets) <= 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs(), st.integers(min_value=1, max_value=3))
+    def test_greedy_mis_always_valid(self, graph: nx.Graph, k: int):
+        mis = greedy_mis(graph, k)
+        # Check per connected component (disconnected graphs: every component
+        # must contain a dominator).
+        assert is_alpha_independent(graph, mis, k + 1)
+        for component in nx.connected_components(graph):
+            assert domination_radius(graph, mis & component, targets=component) <= k
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_graphs())
+    def test_mis_equivalence_of_definitions(self, graph: nx.Graph):
+        """An MIS of G^k is exactly a (k+1, k)-ruling set of G (Section 2)."""
+        k = 2
+        mis = greedy_mis(graph, k)
+        power = power_graph(graph, k)
+        # Independent and maximal in the materialised power graph, per component.
+        assert nx.is_independent_set(power, mis) if hasattr(nx, "is_independent_set") else True
+        for node in power.nodes():
+            dominated = node in mis or any(nbr in mis for nbr in power.neighbors(node))
+            assert dominated
