@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Callable, Mapping, Sequence
+import time
+from typing import Any, Callable, Mapping, Sequence
 
 import networkx as nx
 
@@ -36,6 +37,7 @@ __all__ = [
     "print_and_store",
     "polylog_bound",
     "theory_rounds",
+    "time_rounds_per_sec",
 ]
 
 
@@ -117,3 +119,27 @@ def theory_rounds(algorithm: str, *, n: int, delta: int, k: int = 1,
 
 def delta_of(graph: nx.Graph) -> int:
     return max_degree(graph)
+
+
+def time_rounds_per_sec(make_simulator: Callable[[], Any], *,
+                        max_rounds: int = 10_000, repeats: int = 3,
+                        ) -> tuple[float, Any]:
+    """Best-of-``repeats`` simulator throughput in rounds per second.
+
+    ``make_simulator`` builds a fresh simulator (anything with a
+    ``run(max_rounds)`` returning an object with ``.rounds``); building is
+    excluded from the timed region, so the number measures the round loop,
+    not snapshot/instance construction.  Returns ``(rounds_per_sec,
+    last_result)`` -- the throughput benchmark uses the result to cross-check
+    that all engines computed the same thing.
+    """
+    best = 0.0
+    result = None
+    for _ in range(max(1, repeats)):
+        simulator = make_simulator()
+        start = time.perf_counter()
+        result = simulator.run(max_rounds)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, result.rounds / elapsed)
+    return best, result

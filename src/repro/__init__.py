@@ -28,7 +28,15 @@ Quickstart
 True
 """
 
-from repro.congest import CongestNetwork, NodeAlgorithm, RoundLedger, Simulator
+from repro.congest import (
+    ActiveSetEngine,
+    CongestNetwork,
+    NodeAlgorithm,
+    RoundLedger,
+    RoundObserver,
+    Simulator,
+    SyncEngine,
+)
 from repro.core import (
     check_power_sparsification,
     check_sparsification,
@@ -62,10 +70,13 @@ from repro.ruling import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ActiveSetEngine",
     "CongestNetwork",
     "NodeAlgorithm",
     "RoundLedger",
+    "RoundObserver",
     "Simulator",
+    "SyncEngine",
     "aglp_ruling_set",
     "beeping_mis",
     "beeping_mis_power",

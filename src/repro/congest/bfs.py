@@ -95,12 +95,57 @@ class BFSTree:
                 f"node {node} at tree depth {depth} but graph distance {distances.get(node)}")
 
 
-def build_bfs_tree(graph: nx.Graph, root: Node, depth: int) -> BFSTree:
+def _build_bfs_tree_indexed(network: CongestNetwork, root: Node, depth: int) -> BFSTree:
+    """CSR-based BFS over the network's topology snapshot (no networkx).
+
+    Produces exactly the tree :func:`build_bfs_tree` would (the snapshot
+    preserves the graph's neighbor iteration order), but the traversal runs
+    on integer indices.
+    """
+    topology = network.topology()
+    indptr = topology.indptr
+    neighbor_indices = topology.neighbor_indices
+    labels = topology.labels
+
+    root_index = topology.index_of[root]
+    tree = BFSTree(root=root, depth=depth)
+    tree.parent[root] = None
+    tree.children[root] = set()
+    tree.depth_of[root] = 0
+
+    depth_of = [-1] * topology.n
+    depth_of[root_index] = 0
+    frontier = deque([root_index])
+    while frontier:
+        index = frontier.popleft()
+        level = depth_of[index]
+        if level == depth:
+            continue
+        label = labels[index]
+        for position in range(indptr[index], indptr[index + 1]):
+            neighbor = neighbor_indices[position]
+            if depth_of[neighbor] < 0:
+                depth_of[neighbor] = level + 1
+                neighbor_label = labels[neighbor]
+                tree.parent[neighbor_label] = label
+                tree.children.setdefault(label, set()).add(neighbor_label)
+                tree.children.setdefault(neighbor_label, set())
+                tree.depth_of[neighbor_label] = level + 1
+                frontier.append(neighbor)
+    return tree
+
+
+def build_bfs_tree(graph: nx.Graph | CongestNetwork, root: Node, depth: int) -> BFSTree:
     """Construct a depth-``depth`` BFS tree rooted at ``root``.
 
     Distributedly this costs ``depth`` rounds (each level is discovered in
-    one round); callers charge that to their ledger.
+    one round); callers charge that to their ledger.  Passing a
+    :class:`CongestNetwork` instead of a raw graph routes the traversal
+    through the network's cached topology snapshot (integer-indexed, no
+    networkx in the loop) and yields the identical tree.
     """
+    if isinstance(graph, CongestNetwork):
+        return _build_bfs_tree_indexed(graph, root, depth)
     tree = BFSTree(root=root, depth=depth)
     tree.parent[root] = None
     tree.children[root] = set()
@@ -174,4 +219,4 @@ def build_spanning_bfs_tree(network: CongestNetwork,
     """
     if root is None:
         root = elect_leader(network)
-    return build_bfs_tree(network.graph, root, depth=network.n)
+    return build_bfs_tree(network, root, depth=network.n)

@@ -1,0 +1,230 @@
+"""Scheduling layer: pluggable round engines for the CONGEST runtime.
+
+A :class:`RoundEngine` drives the per-node state machines through synchronous
+rounds on top of the topology and transport layers.  Two engines ship with
+the runtime:
+
+* :class:`SyncEngine` -- the reference scheduler.  Every round it scans all
+  nodes, exactly like the legacy monolithic loop (minus its per-message
+  networkx and ``str()`` work), so its semantics are bit-for-bit those of the
+  pre-refactor simulator.
+* :class:`ActiveSetEngine` -- maintains the set of non-halted nodes across
+  rounds and iterates only over it, making late-phase rounds ``O(active)``
+  instead of ``O(n)``.  Because a halted :class:`NodeAlgorithm` can never
+  un-halt (there is no API for it), the two engines produce identical
+  outputs, round counts and message statistics for the same seed; the
+  equivalence is locked down by ``tests/test_engine_equivalence.py``.
+
+Writing a new engine means subclassing :class:`RoundEngine` and implementing
+:meth:`RoundEngine.run` over a :class:`Runtime` bundle.  The contract an
+engine must honour (it is what the algorithms in this repository rely on):
+
+1. each executed round first collects all outboxes (``send``), then delivers
+   all inboxes (``receive``);
+2. ``send``/``receive`` are only called on non-halted nodes, and a node that
+   halts during the send phase does not receive that round;
+3. messages addressed to nodes that halt are still counted (the transport
+   accounts for them) but never processed;
+4. the engine stops as soon as every node has halted, or after
+   ``max_rounds`` rounds, and returns the number of executed rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.congest.message import Broadcast
+from repro.congest.node import NodeAlgorithm
+from repro.congest.observers import RoundObserver, RoundSnapshot
+from repro.congest.topology import TopologySnapshot
+from repro.congest.transport import EMPTY_INBOX, Transport
+
+__all__ = ["ActiveSetEngine", "RoundEngine", "Runtime", "SyncEngine", "resolve_engine"]
+
+
+@dataclass
+class Runtime:
+    """Everything an engine needs to run one simulation."""
+
+    topology: TopologySnapshot
+    transport: Transport
+    instances: Sequence[NodeAlgorithm]  # aligned with topology indices
+    observers: tuple[RoundObserver, ...] = ()
+
+
+class RoundEngine:
+    """Protocol for round schedulers; see the module docstring for the contract."""
+
+    name = "abstract"
+
+    def run(self, runtime: Runtime, max_rounds: int) -> int:
+        """Drive the instances until all halt or ``max_rounds``; return rounds."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------ shared plumbing
+    @staticmethod
+    def _send_phase(runtime: Runtime, round_number: int, live: Sequence[int],
+                    msg_observers: tuple[RoundObserver, ...]) -> None:
+        """Collect and route the outboxes of the ``live`` node indices.
+
+        Precondition: every index in ``live`` is non-halted when the phase
+        starts (both engines rebuild/maintain the list from fresh halted
+        flags, and a node can only halt itself, so no entry can become
+        halted before its own ``send`` runs).
+        """
+        instances = runtime.instances
+        transport = runtime.transport
+        neighbor_rows = runtime.topology.neighbor_labels
+        deposit_outbox = transport.deposit_outbox
+        deposit_broadcast = transport.deposit_broadcast
+        for index in live:
+            outbox = instances[index].send(round_number)
+            if not outbox:
+                continue
+            # Fast path only for a pristine lazy Broadcast over *the* bound
+            # neighbor row (identity check): any mutation clears _neighbors,
+            # and a Broadcast over a subset or foreign tuple falls back to
+            # the per-entry path, so it can never be misdelivered.
+            if (type(outbox) is Broadcast
+                    and outbox._neighbors is neighbor_rows[index]):
+                payload = outbox.payload
+                if payload is not Ellipsis:
+                    deposit_broadcast(index, payload, round_number, msg_observers)
+            else:
+                deposit_outbox(index, outbox, round_number, msg_observers)
+
+    @staticmethod
+    def _emit_round_end(runtime: Runtime, round_number: int, active_at_start: int,
+                        newly_halted: tuple, observers) -> None:
+        profile = runtime.transport.round_profile()
+        snapshot = RoundSnapshot(
+            round_number=round_number,
+            active_at_start=active_at_start,
+            messages=profile.messages,
+            bits=profile.bits,
+            max_edge_bits=profile.max_edge_bits,
+            busiest_edge=profile.busiest_edge,
+            newly_halted=newly_halted,
+        )
+        for observer in observers:
+            observer.on_round_end(round_number, snapshot)
+
+
+class SyncEngine(RoundEngine):
+    """Reference engine: scans every node every round (legacy semantics)."""
+
+    name = "sync"
+
+    def run(self, runtime: Runtime, max_rounds: int) -> int:
+        instances = runtime.instances
+        transport = runtime.transport
+        labels = runtime.topology.labels
+        observers = tuple(runtime.observers)
+        msg_observers = tuple(o for o in observers if o.wants_messages)
+        inbox_table = transport.inbox_table
+        empty = EMPTY_INBOX
+        n = len(instances)
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            live = [index for index in range(n) if not instances[index].halted]
+            if not live:
+                break
+            rounds = round_number
+            for observer in observers:
+                observer.on_round_start(round_number, len(live))
+
+            self._send_phase(runtime, round_number, live, msg_observers)
+
+            for index in live:
+                instance = instances[index]
+                if instance.halted:  # halted during its own send phase
+                    continue
+                box = inbox_table[index]
+                instance.receive(round_number, empty if box is None else box)
+
+            if observers:
+                newly_halted = tuple(labels[index] for index in live
+                                     if instances[index].halted)
+                self._emit_round_end(runtime, round_number, len(live),
+                                     newly_halted, observers)
+            transport.end_round()
+        return rounds
+
+
+class ActiveSetEngine(RoundEngine):
+    """Maintains the non-halted set across rounds; late rounds are O(active)."""
+
+    name = "active-set"
+
+    def run(self, runtime: Runtime, max_rounds: int) -> int:
+        instances = runtime.instances
+        transport = runtime.transport
+        labels = runtime.topology.labels
+        observers = tuple(runtime.observers)
+        msg_observers = tuple(o for o in observers if o.wants_messages)
+        inbox_table = transport.inbox_table
+        empty = EMPTY_INBOX
+
+        active = [index for index in range(len(instances))
+                  if not instances[index].halted]
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            if not active:
+                break
+            rounds = round_number
+            for observer in observers:
+                observer.on_round_start(round_number, len(active))
+
+            self._send_phase(runtime, round_number, active, msg_observers)
+
+            next_active: list[int] = []
+            newly_halted: list = []
+            for index in active:
+                instance = instances[index]
+                if not instance.halted:  # skip nodes halted in the send phase
+                    box = inbox_table[index]
+                    instance.receive(round_number, empty if box is None else box)
+                    if not instance.halted:
+                        next_active.append(index)
+                        continue
+                if observers:
+                    newly_halted.append(labels[index])
+            if observers:
+                self._emit_round_end(runtime, round_number, len(active),
+                                     tuple(newly_halted), observers)
+            active = next_active
+            transport.end_round()
+        return rounds
+
+
+_ENGINES = {
+    SyncEngine.name: SyncEngine,
+    "legacy": SyncEngine,  # alias: the semantics-compatible reference engine
+    ActiveSetEngine.name: ActiveSetEngine,
+    "active": ActiveSetEngine,
+}
+
+
+def resolve_engine(engine: "RoundEngine | type[RoundEngine] | str | None",
+                   ) -> RoundEngine:
+    """Normalise the ``engine=`` argument of the simulator facade.
+
+    Accepts an engine instance, an engine class, a name (``"sync"``,
+    ``"active-set"``/``"active"``) or ``None`` (the default
+    :class:`SyncEngine`).
+    """
+    if engine is None:
+        return SyncEngine()
+    if isinstance(engine, RoundEngine):
+        return engine
+    if isinstance(engine, type) and issubclass(engine, RoundEngine):
+        return engine()
+    if isinstance(engine, str):
+        try:
+            return _ENGINES[engine]()
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {engine!r}; known: {sorted(_ENGINES)}") from None
+    raise TypeError(f"engine must be a RoundEngine, class, name or None, "
+                    f"got {engine!r}")

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Any, Hashable
 
 Node = Hashable
 
-__all__ = ["DEFAULT_BANDWIDTH_BITS", "Message", "id_bits", "message_bits"]
+__all__ = ["Broadcast", "DEFAULT_BANDWIDTH_BITS", "Message", "id_bits",
+           "message_bits"]
 
 #: Default bandwidth: Theta(log n) bits with a comfortable constant.  The
 #: simulator scales this with the actual network size (see
@@ -55,6 +57,150 @@ def message_bits(payload: Any) -> int:
         return sum(message_bits(k) + message_bits(v) for k, v in payload.items()) + 1
     # Fallback: repr length in bytes.
     return 8 * max(1, len(repr(payload)))
+
+
+class Broadcast(dict):
+    """An outbox that sends the same payload to every neighbor.
+
+    :meth:`NodeAlgorithm.broadcast` returns this instead of a plain dict.  It
+    *is* a dict (``neighbor -> payload``), so any consumer that iterates
+    outboxes works unchanged; but the layered transport recognises a pristine
+    ``Broadcast`` and routes it over the topology snapshot's precomputed
+    neighbor row -- one bit-size computation, no per-message route lookup and
+    (in the ``lazy`` mode the layered simulator enables) no dict fill at all.
+
+    In lazy mode the entries are materialised on first access through the
+    mapping API; always go through that API -- C-level shortcuts that read
+    the raw dict storage of a *lazy, untouched* instance (``dict(b)``,
+    ``{**b}``) would see an empty mapping.  The engines and every algorithm
+    in this repository only use the mapping API.
+
+    The engines take the fast path only while ``_neighbors`` is still the
+    simulator-bound neighbor row (an identity check); any mutation
+    materialises the entries and clears it, so a modified or subset
+    broadcast always falls back to the generic per-entry path and can never
+    be misdelivered.
+    """
+
+    __slots__ = ("payload", "_neighbors")
+
+    def __init__(self, neighbors: Any, payload: Any, *, lazy: bool = False) -> None:
+        if lazy:
+            dict.__init__(self)
+            # Kept as the *original* tuple: the engine's fast path requires
+            # identity with the simulator-bound neighbor row, so a Broadcast
+            # over a subset or copy always routes entry by entry.
+            self._neighbors = neighbors if isinstance(neighbors, tuple) \
+                else tuple(neighbors)
+        else:
+            dict.__init__(self, zip(neighbors, repeat(payload)))
+            self._neighbors = None
+        self.payload = payload
+
+    def _fill(self) -> None:
+        if self._neighbors is not None:
+            dict.update(self, zip(self._neighbors, repeat(self.payload)))
+            self._neighbors = None
+
+    # ------------------------------------------------------------- reading
+    def __bool__(self) -> bool:
+        if self._neighbors is not None:
+            return bool(self._neighbors)
+        return dict.__len__(self) > 0
+
+    def __len__(self) -> int:
+        self._fill()
+        return dict.__len__(self)
+
+    def __iter__(self) -> Any:
+        self._fill()
+        return dict.__iter__(self)
+
+    def __contains__(self, key: Any) -> bool:
+        self._fill()
+        return dict.__contains__(self, key)
+
+    def __getitem__(self, key: Any) -> Any:
+        self._fill()
+        return dict.__getitem__(self, key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._fill()
+        return dict.get(self, key, default)
+
+    def keys(self) -> Any:
+        self._fill()
+        return dict.keys(self)
+
+    def values(self) -> Any:
+        self._fill()
+        return dict.values(self)
+
+    def items(self) -> Any:
+        self._fill()
+        return dict.items(self)
+
+    def __eq__(self, other: Any) -> bool:
+        self._fill()
+        return dict.__eq__(self, other)
+
+    def __ne__(self, other: Any) -> bool:
+        self._fill()
+        return dict.__ne__(self, other)
+
+    def __or__(self, other: Any) -> dict:
+        self._fill()
+        return dict(dict.items(self)) | other
+
+    def __ror__(self, other: Any) -> dict:
+        self._fill()
+        return other | dict(dict.items(self))
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        self._fill()
+        return dict.__repr__(self)
+
+    def copy(self) -> dict:
+        self._fill()
+        return dict(dict.items(self))
+
+    # ------------------------------------------------------------ mutating
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._fill()
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._fill()
+        dict.__delitem__(self, key)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._fill()
+        dict.update(self, *args, **kwargs)
+
+    def __ior__(self, other: Any) -> "Broadcast":
+        # dict.__ior__ mutates the C storage directly; fill first so the
+        # fast-path invariant (_neighbors cleared on mutation) holds.
+        self._fill()
+        dict.update(self, other)
+        return self
+
+    def pop(self, *args: Any) -> Any:
+        self._fill()
+        return dict.pop(self, *args)
+
+    def popitem(self) -> tuple[Any, Any]:
+        self._fill()
+        return dict.popitem(self)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._fill()
+        return dict.setdefault(self, key, default)
+
+    def clear(self) -> None:
+        self._neighbors = None
+        dict.clear(self)
 
 
 @dataclass(frozen=True)

@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Hashable, Iterator
+from types import MappingProxyType
+from typing import Hashable, Iterator, Mapping
 
 import networkx as nx
 
 from repro.congest.message import DEFAULT_BANDWIDTH_BITS, id_bits
+from repro.congest.topology import TopologySnapshot
 
 Node = Hashable
 
@@ -49,7 +51,10 @@ class CongestNetwork:
             bandwidth_bits = max(DEFAULT_BANDWIDTH_BITS, 4 * id_bits(max(2, self.n)))
         self.bandwidth_bits = bandwidth_bits
         self._ids = self._assign_ids(id_seed)
+        self._ids_view = MappingProxyType(self._ids)
         self._nodes_by_id = {node_id: node for node, node_id in self._ids.items()}
+        self._max_degree: int | None = None
+        self._topology: TopologySnapshot | None = None
 
     # ------------------------------------------------------------------ IDs
     def _assign_ids(self, id_seed: int | None) -> dict[Node, int]:
@@ -70,9 +75,13 @@ class CongestNetwork:
         return self._nodes_by_id[node_id]
 
     @property
-    def ids(self) -> dict[Node, int]:
-        """Read-only view of the full ID assignment."""
-        return dict(self._ids)
+    def ids(self) -> Mapping[Node, int]:
+        """Read-only view of the full ID assignment.
+
+        This is a :class:`types.MappingProxyType` over the internal table
+        (the legacy accessor copied the full dict on every access).
+        """
+        return self._ids_view
 
     @property
     def id_bits(self) -> int:
@@ -91,12 +100,31 @@ class CongestNetwork:
 
     @property
     def max_degree(self) -> int:
-        if self.n == 0:
-            return 0
-        return max(degree for _, degree in self.graph.degree())
+        """The maximum degree of the communication graph (cached).
+
+        The graph is treated as immutable once wrapped in a
+        :class:`CongestNetwork` (the simulator's topology snapshot relies on
+        the same assumption).
+        """
+        if self._max_degree is None:
+            if self.n == 0:
+                self._max_degree = 0
+            else:
+                self._max_degree = max(degree for _, degree in self.graph.degree())
+        return self._max_degree
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return self.graph.has_edge(u, v)
+
+    def topology(self) -> TopologySnapshot:
+        """The cached integer-indexed :class:`TopologySnapshot` of this network.
+
+        Built on first use and reused by every simulator constructed over
+        this network; the wrapped graph must not be mutated afterwards.
+        """
+        if self._topology is None:
+            self._topology = TopologySnapshot(self)
+        return self._topology
 
     def __len__(self) -> int:
         return self.n

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Mapping
 
+from repro.congest.message import Broadcast
+
 Node = Hashable
 
 __all__ = ["NodeAlgorithm"]
@@ -59,6 +61,12 @@ class NodeAlgorithm:
         self.rng = None  # type: ignore[assignment]
         self._halted = False
         self.output: Any = None
+        #: Set by the layered simulator at bind time: its transport routes
+        #: pristine broadcasts without reading the outbox dict, so the dict
+        #: fill can be deferred (and usually skipped).  Schedulers that
+        #: iterate outboxes entry by entry leave this off and get an eagerly
+        #: filled mapping.
+        self._lazy_broadcast = False
 
     # ------------------------------------------------------------ lifecycle
     def initialize(self) -> None:
@@ -73,7 +81,12 @@ class NodeAlgorithm:
         return {}
 
     def receive(self, round_number: int, inbox: Mapping[Node, Any]) -> None:
-        """Process the messages received this round."""
+        """Process the messages received this round.
+
+        ``inbox`` is owned by the runtime's transport layer and recycled
+        between rounds: it is only valid for the duration of this call.
+        Copy it (``dict(inbox)``) before storing it on ``self``.
+        """
 
     def finalize(self) -> None:
         """Called once after the simulation stops."""
@@ -91,5 +104,10 @@ class NodeAlgorithm:
 
     # -------------------------------------------------------------- helpers
     def broadcast(self, payload: Any) -> dict[Node, Any]:
-        """Convenience: the same payload to every neighbor."""
-        return {neighbor: payload for neighbor in self.neighbors}
+        """Convenience: the same payload to every neighbor.
+
+        Returns a :class:`~repro.congest.message.Broadcast` (a dict
+        subclass), which the transport layer routes over the precomputed
+        neighbor row instead of resolving each entry individually.
+        """
+        return Broadcast(self.neighbors, payload, lazy=self._lazy_broadcast)

@@ -1,22 +1,32 @@
-"""Basic distributed primitives implemented on the message-passing simulator.
+"""Basic distributed primitives implemented on the layered CONGEST runtime.
 
 These are the textbook building blocks (flooding, BFS layering, leader
 election by ID flooding, convergecast of a sum) that the paper takes for
 granted.  They serve two purposes in the reproduction:
 
-* they validate the simulator itself (their round counts have well-known
+* they validate the runtime itself (their round counts have well-known
   closed forms -- e.g. flooding completes in ``ecc(source)`` rounds -- which
   the unit tests check against the graph-theoretic quantities);
 * they are the concrete counterparts of the analytic charges in
   :class:`repro.congest.cost.RoundLedger` (Lemma 4.3 convergecast,
   leader election, BFS-tree construction).
+
+Each primitive comes in two pieces: the per-node state machine
+(:class:`NodeAlgorithm` subclass) and a ``run_*`` driver that wires it into
+the :class:`~repro.congest.simulator.Simulator` facade.  The drivers accept
+the facade's ``engine=`` / ``observers=`` arguments, so benchmarks can run
+the same primitive under :class:`~repro.congest.engine.SyncEngine` and
+:class:`~repro.congest.engine.ActiveSetEngine` interchangeably.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Mapping
+from typing import Any, Hashable, Iterable, Mapping
 
+from repro.congest.bfs import BFSTree, build_spanning_bfs_tree
+from repro.congest.network import CongestNetwork
 from repro.congest.node import NodeAlgorithm
+from repro.congest.simulator import SimulationResult, Simulator
 
 Node = Hashable
 
@@ -25,6 +35,10 @@ __all__ = [
     "ConvergecastSum",
     "FloodingBroadcast",
     "LeaderElection",
+    "run_bfs_layering",
+    "run_convergecast_sum",
+    "run_flooding",
+    "run_leader_election",
 ]
 
 
@@ -162,3 +176,53 @@ class ConvergecastSum(NodeAlgorithm):
     def finalize(self) -> None:
         if self.parent is None and not self.halted:
             self.halt(self.value + sum(self._received_from.values()))
+
+
+# --------------------------------------------------------------------- drivers
+def run_flooding(network: CongestNetwork, source: Node, value: Any, *,
+                 engine=None, observers: Iterable = (),
+                 max_rounds: int = 10_000) -> SimulationResult:
+    """Flood ``value`` from ``source``; every node's output is the value."""
+    simulator = Simulator(
+        network,
+        lambda node: FloodingBroadcast(is_source=(node == source), value=value),
+        engine=engine, observers=observers)
+    return simulator.run(max_rounds)
+
+
+def run_bfs_layering(network: CongestNetwork, source: Node, *,
+                     engine=None, observers: Iterable = (),
+                     max_rounds: int = 10_000) -> SimulationResult:
+    """Every node's output is its BFS distance from ``source`` (or ``None``)."""
+    simulator = Simulator(
+        network, lambda node: BFSLayering(is_source=(node == source)),
+        engine=engine, observers=observers)
+    return simulator.run(max_rounds)
+
+
+def run_leader_election(network: CongestNetwork, *, rounds_budget: int | None = None,
+                        engine=None, observers: Iterable = (),
+                        max_rounds: int = 10_000) -> SimulationResult:
+    """Flood the maximum ID for ``rounds_budget`` rounds (default ``n``)."""
+    budget = network.n if rounds_budget is None else rounds_budget
+    simulator = Simulator(
+        network, lambda node: LeaderElection(rounds_budget=budget),
+        engine=engine, observers=observers)
+    return simulator.run(max_rounds)
+
+
+def run_convergecast_sum(network: CongestNetwork, values: Mapping[Node, int], *,
+                         tree: BFSTree | None = None, engine=None,
+                         observers: Iterable = (),
+                         max_rounds: int = 10_000) -> SimulationResult:
+    """Sum ``values`` up a BFS tree; the root's output is the global sum."""
+    if tree is None:
+        tree = build_spanning_bfs_tree(network)
+
+    def factory(node: Node) -> ConvergecastSum:
+        return ConvergecastSum(parent=tree.parent[node],
+                               children=tree.children.get(node, set()),
+                               value=values[node])
+
+    simulator = Simulator(network, factory, engine=engine, observers=observers)
+    return simulator.run(max_rounds)

@@ -1,29 +1,98 @@
-"""The synchronous CONGEST scheduler.
+"""The CONGEST simulator facade over the layered runtime.
 
-The simulator drives one :class:`~repro.congest.node.NodeAlgorithm` instance
-per node through synchronous rounds, delivering messages between neighbors
-and enforcing the per-edge per-round bandwidth of the CONGEST model.  It also
-records the statistics the experiments need: total rounds, total messages,
-total bits, and per-edge message counts (congestion).
+:class:`Simulator` keeps the seed repository's original constructor and
+``run`` signature, but is now a thin facade that wires four explicit layers
+together (see ``ARCHITECTURE.md``):
+
+1. **topology** (:mod:`repro.congest.topology`) -- an integer-indexed
+   snapshot of the network, built once and cached on the
+   :class:`CongestNetwork`, so the round loop never touches networkx and
+   never canonicalises edge keys with ``str()``;
+2. **transport** (:mod:`repro.congest.transport`) -- pooled lazy inboxes and
+   the aggregate per-edge per-round bandwidth accountant;
+3. **scheduling** (:mod:`repro.congest.engine`) -- a pluggable
+   :class:`RoundEngine`; the default :class:`SyncEngine` reproduces the
+   legacy semantics bit for bit, while :class:`ActiveSetEngine` skips halted
+   nodes entirely;
+4. **instrumentation** (:mod:`repro.congest.observers`) -- a
+   :class:`RoundObserver` trace API replacing the legacy inlined counters.
+
+The facade still returns the same :class:`SimulationResult`; its
+``edge_message_counts`` are keyed by canonical label pairs ordered by node
+*index* (graph iteration order) rather than by ``str()``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Mapping, Type
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Type
 
-from repro.congest.message import Message, message_bits
+from repro.congest.engine import RoundEngine, Runtime, SyncEngine, resolve_engine
 from repro.congest.network import CongestNetwork
 from repro.congest.node import NodeAlgorithm
+from repro.congest.observers import RoundObserver, RunContext
+from repro.congest.transport import BandwidthExceededError, Transport
 
 Node = Hashable
 
-__all__ = ["BandwidthExceededError", "SimulationResult", "Simulator"]
+__all__ = ["BandwidthExceededError", "LazyEdgeCounts", "SimulationResult",
+           "Simulator"]
 
 
-class BandwidthExceededError(RuntimeError):
-    """Raised when a message exceeds the per-edge per-round bandwidth."""
+class LazyEdgeCounts(Mapping):
+    """``edge -> message count`` mapping, materialised on first access.
+
+    The transport tracks congestion by integer edge index; converting that to
+    the label-keyed dictionary costs O(m), which short simulator runs would
+    pay on every ``run()`` even when nobody reads the congestion.  This view
+    defers the conversion until the result is actually inspected.
+    """
+
+    __slots__ = ("_transport", "_dict")
+
+    def __init__(self, transport: Transport) -> None:
+        self._transport = transport
+        self._dict: dict[tuple[Node, Node], int] | None = None
+
+    def _materialized(self) -> dict[tuple[Node, Node], int]:
+        if self._dict is None:
+            self._dict = self._transport.edge_counts_by_label()
+            self._transport = None
+        return self._dict
+
+    def __getitem__(self, key: tuple[Node, Node]) -> int:
+        return self._materialized()[key]
+
+    def __iter__(self) -> Iterator[tuple[Node, Node]]:
+        return iter(self._materialized())
+
+    def __len__(self) -> int:
+        return len(self._materialized())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._materialized()
+
+    def keys(self):
+        return self._materialized().keys()
+
+    def values(self):
+        return self._materialized().values()
+
+    def items(self):
+        return self._materialized().items()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyEdgeCounts):
+            return self._materialized() == other._materialized()
+        if isinstance(other, Mapping):
+            return self._materialized() == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return repr(self._materialized())
 
 
 @dataclass
@@ -35,7 +104,10 @@ class SimulationResult:
     total_bits: int
     outputs: dict[Node, Any]
     halted: bool
-    edge_message_counts: dict[tuple[Node, Node], int] = field(default_factory=dict)
+    #: ``(u, v) -> messages`` per canonical edge; a plain dict or a
+    #: :class:`LazyEdgeCounts` view (same mapping API, compares equal).
+    edge_message_counts: Mapping[tuple[Node, Node], int] = field(default_factory=dict)
+    engine: str = SyncEngine.name
 
     def max_edge_congestion(self) -> int:
         """The maximum number of messages carried by any single edge."""
@@ -57,22 +129,43 @@ class Simulator:
     seed:
         Seed for the per-node random generators.
     enforce_bandwidth:
-        When true (the default), a message larger than the network bandwidth
-        raises :class:`BandwidthExceededError`.  Experiments that only want to
-        *measure* congestion (Figure 1) set this to ``False``.
+        When true (the default), exceeding the per-edge per-round bandwidth
+        raises :class:`BandwidthExceededError`.  Experiments that only want
+        to *measure* congestion (Figure 1) set this to ``False``.
+    engine:
+        The round engine: an instance, class, name (``"sync"`` /
+        ``"active-set"``) or ``None`` for the default :class:`SyncEngine`.
+    observers:
+        Iterable of :class:`RoundObserver` instances to attach for this
+        simulator's runs.
+    half_duplex:
+        When true, both directions of an edge share one ``bandwidth_bits``
+        budget per round; by default each direction has its own (the
+        standard CONGEST convention).
     """
 
     def __init__(self, network: CongestNetwork,
                  algorithm_factory: Type[NodeAlgorithm] | Callable[[Node], NodeAlgorithm],
-                 *, seed: int = 0, enforce_bandwidth: bool = True) -> None:
+                 *, seed: int = 0, enforce_bandwidth: bool = True,
+                 engine: RoundEngine | type[RoundEngine] | str | None = None,
+                 observers: Iterable[RoundObserver] = (),
+                 half_duplex: bool = False) -> None:
         self.network = network
+        self.topology = network.topology()
         self.seed = seed
         self.enforce_bandwidth = enforce_bandwidth
-        self.nodes: dict[Node, NodeAlgorithm] = {}
-        for node in network.nodes():
-            instance = self._instantiate(algorithm_factory, node)
-            self._bind(instance, node)
-            self.nodes[node] = instance
+        self.half_duplex = half_duplex
+        self.engine = resolve_engine(engine)
+        self.observers: list[RoundObserver] = list(observers)
+        self._instances: list[NodeAlgorithm] = []
+        for index, label in enumerate(self.topology.labels):
+            instance = self._instantiate(algorithm_factory, label)
+            self._bind(instance, index)
+            self._instances.append(instance)
+        #: Backward-compatible ``label -> instance`` view (iteration order is
+        #: the network's node order, as in the legacy simulator).
+        self.nodes: dict[Node, NodeAlgorithm] = dict(
+            zip(self.topology.labels, self._instances))
 
     # ------------------------------------------------------------ plumbing
     @staticmethod
@@ -85,77 +178,59 @@ class Simulator:
             raise TypeError("algorithm_factory must produce NodeAlgorithm instances")
         return instance
 
-    def _bind(self, instance: NodeAlgorithm, node: Node) -> None:
-        network = self.network
-        instance.node = node
-        instance.node_id = network.node_id(node)
-        instance.neighbors = tuple(network.neighbors(node))
-        instance.neighbor_ids = {nbr: network.node_id(nbr) for nbr in instance.neighbors}
-        instance.n = network.n
-        instance.rng = random.Random(f"{self.seed}:{network.node_id(node)}")
+    def _bind(self, instance: NodeAlgorithm, index: int) -> None:
+        topology = self.topology
+        congest_id = topology.congest_ids[index]
+        neighbor_labels = topology.neighbor_labels[index]
+        route = topology.routes[index]
+        instance.node = topology.labels[index]
+        instance.node_id = congest_id
+        instance.neighbors = neighbor_labels
+        instance.neighbor_ids = {
+            nbr: topology.congest_ids[route[nbr][0]] for nbr in neighbor_labels}
+        instance.n = topology.n
+        instance.rng = random.Random(f"{self.seed}:{congest_id}")
+        instance._lazy_broadcast = True
 
     # ----------------------------------------------------------------- run
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Run until every node halts or ``max_rounds`` is reached."""
-        for instance in self.nodes.values():
+        topology = self.topology
+        observers = tuple(self.observers)
+        transport = Transport(topology,
+                              bandwidth_bits=self.network.bandwidth_bits,
+                              enforce=self.enforce_bandwidth,
+                              half_duplex=self.half_duplex,
+                              profile_slots=bool(observers))
+        if observers:
+            context = RunContext(network=self.network, topology=topology,
+                                 transport=transport, engine=self.engine.name)
+            for observer in observers:
+                observer.on_run_start(context)
+
+        instances = self._instances
+        for instance in instances:
             instance.initialize()
 
-        total_messages = 0
-        total_bits = 0
-        edge_counts: dict[tuple[Node, Node], int] = {}
-        rounds = 0
+        runtime = Runtime(topology=topology, transport=transport,
+                          instances=instances, observers=observers)
+        rounds = self.engine.run(runtime, max_rounds)
 
-        for round_number in range(1, max_rounds + 1):
-            if all(instance.halted for instance in self.nodes.values()):
-                break
-            rounds = round_number
-
-            # Collect outgoing messages.
-            inboxes: dict[Node, dict[Node, Any]] = {node: {} for node in self.nodes}
-            edge_load: dict[tuple[Node, Node], int] = {}
-            any_message = False
-            for node, instance in self.nodes.items():
-                if instance.halted:
-                    continue
-                outbox = instance.send(round_number) or {}
-                for neighbor, payload in outbox.items():
-                    if payload is Ellipsis:
-                        continue
-                    if not self.network.has_edge(node, neighbor):
-                        raise ValueError(
-                            f"node {node!r} attempted to send to non-neighbor {neighbor!r}")
-                    size = message_bits(payload)
-                    key = (node, neighbor) if str(node) <= str(neighbor) else (neighbor, node)
-                    edge_load[key] = edge_load.get(key, 0) + size
-                    if self.enforce_bandwidth and size > self.network.bandwidth_bits:
-                        raise BandwidthExceededError(
-                            f"message of {size} bits from {node!r} to {neighbor!r} exceeds "
-                            f"bandwidth {self.network.bandwidth_bits}")
-                    inboxes[neighbor][node] = payload
-                    edge_counts[key] = edge_counts.get(key, 0) + 1
-                    total_messages += 1
-                    total_bits += size
-                    any_message = True
-
-            # Deliver.
-            for node, instance in self.nodes.items():
-                if instance.halted:
-                    continue
-                instance.receive(round_number, inboxes[node])
-
-            if not any_message and all(inst.halted for inst in self.nodes.values()):
-                break
-
-        for instance in self.nodes.values():
+        for instance in instances:
             instance.finalize()
 
-        outputs = {node: instance.output for node, instance in self.nodes.items()}
-        halted = all(instance.halted for instance in self.nodes.values())
-        return SimulationResult(
+        outputs = {label: instance.output
+                   for label, instance in zip(topology.labels, instances)}
+        halted = all(instance.halted for instance in instances)
+        result = SimulationResult(
             rounds=rounds,
-            total_messages=total_messages,
-            total_bits=total_bits,
+            total_messages=transport.total_messages,
+            total_bits=transport.total_bits,
             outputs=outputs,
             halted=halted,
-            edge_message_counts=edge_counts,
+            edge_message_counts=LazyEdgeCounts(transport),
+            engine=self.engine.name,
         )
+        for observer in observers:
+            observer.on_run_end(result)
+        return result

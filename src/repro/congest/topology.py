@@ -1,0 +1,163 @@
+"""Topology layer: an indexed, immutable snapshot of a CONGEST network.
+
+A :class:`TopologySnapshot` is built once per :class:`~repro.congest.network.
+CongestNetwork` and gives the round engines everything they need without ever
+touching networkx inside the round loop:
+
+* nodes are mapped to dense integer indices ``0..n-1`` (in graph iteration
+  order, so the engines process nodes in exactly the order the legacy
+  simulator did);
+* adjacency is stored CSR-style (``indptr`` / ``neighbor_indices``) over
+  those indices;
+* every undirected edge gets a canonical integer **edge index**, assigned in
+  order of first encounter, so bandwidth accounting and congestion tracking
+  are array lookups instead of per-message ``str()`` canonicalisation (the
+  legacy scheduler normalised edge keys with ``str(u) <= str(v)``, which is
+  slow and wrong for label types whose ``str()`` ordering is inconsistent);
+* per-node **route tables** map a neighbor *label* to its
+  ``(neighbor_index, edge_index)`` pair, which is what the send phase needs
+  to validate and route an outbox entry with a single dict lookup.
+
+The snapshot also carries the CONGEST identifier table and node degrees, so
+binding a :class:`~repro.congest.node.NodeAlgorithm` instance requires no
+graph queries either.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.congest.network import CongestNetwork
+
+Node = Hashable
+
+__all__ = ["TopologySnapshot"]
+
+
+class TopologySnapshot:
+    """Integer-indexed, read-only view of a :class:`CongestNetwork`.
+
+    Attributes
+    ----------
+    labels:
+        ``labels[i]`` is the graph label of node index ``i`` (graph iteration
+        order).
+    index_of:
+        Inverse mapping ``label -> index``.
+    congest_ids:
+        ``congest_ids[i]`` is the unique CONGEST identifier of node ``i``.
+    indptr, neighbor_indices:
+        CSR adjacency: the neighbors of node ``i`` are
+        ``neighbor_indices[indptr[i]:indptr[i + 1]]``, in the same order the
+        underlying graph iterates them.
+    neighbor_labels:
+        ``neighbor_labels[i]`` is the tuple of neighbor labels of node ``i``
+        (exactly what :class:`NodeAlgorithm.neighbors` is bound to).
+    routes:
+        ``routes[i]`` maps a neighbor label of node ``i`` to its
+        ``(neighbor_index, edge_index, directed_slot)`` triple, where
+        ``directed_slot`` is the precomputed full-duplex bandwidth slot
+        (``2 * edge_index`` for the low-to-high index direction,
+        ``2 * edge_index + 1`` for the reverse).
+    degrees:
+        ``degrees[i]`` is the degree of node ``i``.
+    edge_endpoints:
+        ``edge_endpoints[e]`` is the canonical ``(u_index, v_index)`` pair
+        (``u_index < v_index``) of edge ``e``.
+    """
+
+    __slots__ = (
+        "n",
+        "edge_count",
+        "labels",
+        "index_of",
+        "congest_ids",
+        "indptr",
+        "neighbor_indices",
+        "neighbor_labels",
+        "routes",
+        "broadcast_routes",
+        "broadcast_rows",
+        "degrees",
+        "edge_endpoints",
+        "edge_labels",
+        "max_degree",
+    )
+
+    def __init__(self, network: "CongestNetwork") -> None:
+        graph = network.graph
+        labels: tuple[Node, ...] = tuple(graph.nodes())
+        index_of: dict[Node, int] = {label: i for i, label in enumerate(labels)}
+        node_id = network.node_id
+
+        indptr: list[int] = [0]
+        neighbor_indices: list[int] = []
+        neighbor_labels: list[tuple[Node, ...]] = []
+        routes: list[dict[Node, tuple[int, int, int]]] = []
+        edge_of_pair: dict[tuple[int, int], int] = {}
+        edge_endpoints: list[tuple[int, int]] = []
+
+        for u, label in enumerate(labels):
+            nbr_labels = tuple(graph.neighbors(label))
+            route: dict[Node, tuple[int, int, int]] = {}
+            for nbr_label in nbr_labels:
+                v = index_of[nbr_label]
+                pair = (u, v) if u < v else (v, u)
+                edge = edge_of_pair.get(pair)
+                if edge is None:
+                    edge = len(edge_endpoints)
+                    edge_of_pair[pair] = edge
+                    edge_endpoints.append(pair)
+                neighbor_indices.append(v)
+                route[nbr_label] = (v, edge, 2 * edge + (0 if u < v else 1))
+            indptr.append(len(neighbor_indices))
+            neighbor_labels.append(nbr_labels)
+            routes.append(route)
+
+        self.n = len(labels)
+        self.edge_count = len(edge_endpoints)
+        self.labels = labels
+        self.index_of = index_of
+        self.congest_ids = tuple(node_id(label) for label in labels)
+        self.indptr = indptr
+        self.neighbor_indices = neighbor_indices
+        self.neighbor_labels = tuple(neighbor_labels)
+        self.routes = tuple(routes)
+        # Route triples in neighbor order (dicts preserve insertion order),
+        # for broadcast-style outboxes that cover every neighbor; the paired
+        # flat rows serve the transport's tight full-duplex loop.
+        self.broadcast_routes = tuple(tuple(route.values()) for route in routes)
+        self.broadcast_rows = tuple(
+            (tuple(t[0] for t in triples), tuple(t[1] for t in triples))
+            for triples in self.broadcast_routes)
+        self.degrees = tuple(indptr[i + 1] - indptr[i] for i in range(len(labels)))
+        self.edge_endpoints = edge_endpoints
+        self.edge_labels = tuple((labels[u], labels[v]) for u, v in edge_endpoints)
+        self.max_degree = max(self.degrees, default=0)
+
+    # ------------------------------------------------------------- queries
+    def neighbors(self, index: int) -> list[int]:
+        """Neighbor indices of node ``index`` (CSR slice)."""
+        return self.neighbor_indices[self.indptr[index]:self.indptr[index + 1]]
+
+    def degree(self, index: int) -> int:
+        return self.degrees[index]
+
+    def edge_label(self, edge: int) -> tuple[Node, Node]:
+        """The canonical ``(u, v)`` label pair of edge ``edge``.
+
+        Canonical means ordered by node *index* (graph iteration order) --
+        stable within a run and independent of the labels' ``str()``.
+        """
+        return self.edge_labels[edge]
+
+    def edge_index(self, u: Node, v: Node) -> int:
+        """The edge index of the edge between labels ``u`` and ``v``.
+
+        Raises ``KeyError`` if the edge does not exist.
+        """
+        return self.routes[self.index_of[u]][v][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TopologySnapshot(n={self.n}, m={self.edge_count})"

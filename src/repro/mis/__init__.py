@@ -21,9 +21,15 @@ Contents
     Corollary 1.3 -- ``beta``-ruling sets of ``G^k`` (Section 8.3).
 """
 
-from repro.mis.beeping import BeepingMISNode, BeepingMISProcess, beeping_mis, beeping_mis_power
+from repro.mis.beeping import (
+    BeepingMISNode,
+    BeepingMISProcess,
+    beeping_mis,
+    beeping_mis_power,
+    simulate_beeping_mis,
+)
 from repro.mis.kp12 import kp12_sparsify, kp12_sparsify_power
-from repro.mis.luby import LubyMISNode, luby_mis, luby_mis_power
+from repro.mis.luby import LubyMISNode, luby_mis, luby_mis_power, simulate_luby_mis
 from repro.mis.power_mis import PowerMISResult, power_graph_mis
 from repro.mis.power_ruling import PowerRulingSetResult, power_graph_ruling_set
 from repro.mis.shattering import (
@@ -53,4 +59,6 @@ __all__ = [
     "power_graph_ruling_set",
     "pre_shattering",
     "shattering_mis",
+    "simulate_beeping_mis",
+    "simulate_luby_mis",
 ]

@@ -30,12 +30,15 @@ from typing import Hashable, Mapping
 import networkx as nx
 
 from repro.congest.cost import RoundLedger
+from repro.congest.network import CongestNetwork
 from repro.congest.node import NodeAlgorithm
+from repro.congest.simulator import SimulationResult, Simulator
 from repro.graphs.power import distance_neighborhood
 
 Node = Hashable
 
-__all__ = ["LubyMISNode", "LubyResult", "luby_mis", "luby_mis_power"]
+__all__ = ["LubyMISNode", "LubyResult", "luby_mis", "luby_mis_power",
+           "simulate_luby_mis"]
 
 #: Random priorities are drawn from [n^PRIORITY_EXPONENT] so ties are unlikely
 #: (``c`` in [MRSZ11]); ties are broken by ID to keep runs deterministic
@@ -141,11 +144,10 @@ class LubyMISNode(NodeAlgorithm):
         super().__init__()
         self.state = self.UNDECIDED
         self.priority: tuple[int, int] | None = None
-        self.neighbor_priorities: dict[Node, tuple[int, int]] = {}
-        self.undecided_neighbors: set[Node] = set()
+        self._min_neighbor_priority: tuple[int, int] | None = None
 
     def initialize(self) -> None:
-        self.undecided_neighbors = set(self.neighbors)
+        self._priority_space = self.n ** PRIORITY_EXPONENT
 
     def send(self, round_number: int) -> Mapping[Node, object]:
         # Message kinds are distinguished by round parity (odd = priority,
@@ -153,25 +155,29 @@ class LubyMISNode(NodeAlgorithm):
         if self.state != self.UNDECIDED:
             return {}
         if round_number % 2 == 1:
-            self.priority = (self.rng.randrange(self.n ** PRIORITY_EXPONENT), self.node_id)
+            self.priority = (self.rng.randrange(self._priority_space), self.node_id)
             return self.broadcast(self.priority)
         if self._is_local_minimum():
             return self.broadcast(True)
         return {}
 
     def _is_local_minimum(self) -> bool:
+        # Only undecided neighbors broadcast priorities, so the inbox of the
+        # odd round is exactly the relevant comparison set; its minimum is
+        # cached once per step instead of being recomputed on every check.
         if self.priority is None:
             return False
-        relevant = [self.neighbor_priorities[nbr] for nbr in self.undecided_neighbors
-                    if nbr in self.neighbor_priorities]
-        return all(self.priority < other for other in relevant)
+        minimum = self._min_neighbor_priority
+        return minimum is None or self.priority < minimum
 
     def receive(self, round_number: int, inbox: Mapping[Node, object]) -> None:
         if self.state != self.UNDECIDED:
             return
         if round_number % 2 == 1:
-            self.neighbor_priorities = {sender: tuple(payload)
-                                        for sender, payload in inbox.items()}
+            # Payloads are the (priority, id) tuples sent by the undecided
+            # neighbors; only their minimum matters for the local-minimum
+            # test (the retained tuple outlives the transport-owned inbox).
+            self._min_neighbor_priority = min(inbox.values()) if inbox else None
             return
         joined_neighbor = bool(inbox)
         if self._is_local_minimum():
@@ -184,3 +190,20 @@ class LubyMISNode(NodeAlgorithm):
     def finalize(self) -> None:
         if not self.halted:
             self.halt(self.state == self.IN_MIS)
+
+
+def simulate_luby_mis(network: CongestNetwork, *, seed: int = 0, engine=None,
+                      observers=(), max_rounds: int = 10_000,
+                      ) -> tuple[set[Node], SimulationResult]:
+    """Run :class:`LubyMISNode` on the layered runtime; returns ``(mis, result)``.
+
+    The driver for the message-passing Luby execution: it accepts the
+    simulator facade's ``engine=`` / ``observers=`` arguments, so the same
+    run works under :class:`~repro.congest.engine.SyncEngine` and
+    :class:`~repro.congest.engine.ActiveSetEngine` (identical outputs for
+    the same seed).
+    """
+    result = Simulator(network, LubyMISNode, seed=seed, engine=engine,
+                       observers=observers).run(max_rounds)
+    mis = {node for node, joined in result.outputs.items() if joined}
+    return mis, result

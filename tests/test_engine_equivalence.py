@@ -1,0 +1,114 @@
+"""Engine equivalence: SyncEngine and ActiveSetEngine are interchangeable.
+
+The scheduling layer's contract is that both engines produce *identical*
+results for the same seed -- outputs, round counts, message totals, bit
+totals and per-edge congestion -- because a halted node can never un-halt,
+so skipping halted nodes is purely an optimisation.  This property-style
+suite locks that down for the three simulator-native algorithm families
+(randomized Luby MIS, BFS layering, the deterministic ruling set) across a
+mixed workload sweep and several seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import ActiveSetEngine, CongestNetwork, Simulator, SyncEngine
+from repro.congest.primitives import BFSLayering, LeaderElection
+from repro.graphs import erdos_renyi_graph, random_regular_graph, random_tree, unit_disk_graph
+from repro.mis.luby import LubyMISNode, simulate_luby_mis
+from repro.ruling import is_mis_of_power_graph
+from repro.ruling.distributed import DetRulingSetNode, simulate_det_ruling_set
+
+WORKLOADS = [
+    ("regular", lambda seed: random_regular_graph(60, 4, seed=seed)),
+    ("er", lambda seed: erdos_renyi_graph(50, expected_degree=5.0, seed=seed)),
+    ("udg", lambda seed: unit_disk_graph(45, seed=seed)),
+    ("tree", lambda seed: random_tree(40, seed=seed)),
+]
+
+SEEDS = [0, 7, 23]
+
+
+def _run_both(network: CongestNetwork, factory, *, seed: int = 0,
+              max_rounds: int = 2_000):
+    sync = Simulator(network, factory, seed=seed, engine=SyncEngine).run(max_rounds)
+    active = Simulator(network, factory, seed=seed,
+                       engine=ActiveSetEngine).run(max_rounds)
+    return sync, active
+
+
+def _assert_equivalent(sync, active):
+    assert sync.outputs == active.outputs
+    assert sync.rounds == active.rounds
+    assert sync.total_messages == active.total_messages
+    assert sync.total_bits == active.total_bits
+    assert sync.halted == active.halted
+    assert sync.edge_message_counts == active.edge_message_counts
+    assert sync.engine == "sync" and active.engine == "active-set"
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("workload", [name for name, _ in WORKLOADS])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_luby_mis(self, workload, seed):
+        make = dict(WORKLOADS)[workload]
+        graph = make(seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        sync, active = _run_both(network, LubyMISNode, seed=seed)
+        _assert_equivalent(sync, active)
+        mis = {node for node, joined in sync.outputs.items() if joined}
+        assert is_mis_of_power_graph(graph, mis, 1)
+
+    @pytest.mark.parametrize("workload", [name for name, _ in WORKLOADS])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bfs_layering(self, workload, seed):
+        make = dict(WORKLOADS)[workload]
+        graph = make(seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        source = next(iter(graph.nodes()))
+        sync, active = _run_both(
+            network, lambda node: BFSLayering(is_source=(node == source)),
+            seed=seed)
+        _assert_equivalent(sync, active)
+
+    @pytest.mark.parametrize("workload", [name for name, _ in WORKLOADS])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_det_ruling_set(self, workload, seed):
+        make = dict(WORKLOADS)[workload]
+        graph = make(seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        sync, active = _run_both(network, DetRulingSetNode)
+        _assert_equivalent(sync, active)
+        ruling_set = {node for node, joined in sync.outputs.items() if joined}
+        assert is_mis_of_power_graph(graph, ruling_set, 1)
+
+    def test_drivers_accept_engine_argument(self):
+        graph = random_regular_graph(40, 4, seed=3)
+        network = CongestNetwork(graph, id_seed=3)
+        mis_sync, res_sync = simulate_luby_mis(network, seed=3, engine="sync")
+        mis_active, res_active = simulate_luby_mis(network, seed=3,
+                                                   engine="active-set")
+        assert mis_sync == mis_active
+        assert res_sync.rounds == res_active.rounds
+        rs_sync, _ = simulate_det_ruling_set(network, engine=SyncEngine)
+        rs_active, _ = simulate_det_ruling_set(network, engine=ActiveSetEngine)
+        assert rs_sync == rs_active
+
+    def test_round_budget_algorithm_equivalent(self):
+        # LeaderElection keeps every node active until the budget expires --
+        # the degenerate case where the active set never shrinks.
+        graph = random_regular_graph(30, 4, seed=5)
+        network = CongestNetwork(graph, id_seed=5)
+        sync, active = _run_both(
+            network, lambda node: LeaderElection(rounds_budget=12), seed=5)
+        _assert_equivalent(sync, active)
+
+    def test_round_limit_equivalent(self):
+        graph = random_regular_graph(30, 4, seed=9)
+        network = CongestNetwork(graph, id_seed=9)
+        sync, active = _run_both(
+            network, lambda node: LeaderElection(rounds_budget=500), seed=9,
+            max_rounds=5)
+        _assert_equivalent(sync, active)
+        assert sync.rounds == 5 and not sync.halted
