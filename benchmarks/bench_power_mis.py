@@ -23,6 +23,7 @@ from harness import delta_of, print_and_store
 from repro.graphs import random_regular_graph
 from repro.mis import luby_mis_power, power_graph_mis
 from repro.ruling import is_mis_of_power_graph
+from repro.scenarios.registry import DEFAULT_REGISTRY
 
 EXPERIMENT_ID = "E-MIS-K-power-mis"
 K = 2
@@ -47,19 +48,30 @@ def run_once(graph, k: int, seed: int) -> dict[str, object]:
 
 
 def experiment_rows() -> list[dict[str, object]]:
+    """The three sweeps of Section 8.1, sourced from the scenario registry.
+
+    The Delta sweep is the cells tagged ``power-mis-delta``, the n sweep the
+    cells tagged ``power-mis-n`` and the k sweep the scenarios tagged
+    ``power-mis-k`` -- the same grid the batch runner executes.
+    """
     rows = []
     # Sweep Delta at fixed n.
-    for degree in (4, 8, 16, 32):
-        graph = random_regular_graph(192, degree, seed=degree)
+    for cell in sorted(DEFAULT_REGISTRY.cells(tags={"power-mis-delta"}),
+                       key=lambda cell: cell.params_dict["degree"]):
+        degree = cell.params_dict["degree"]
+        graph = DEFAULT_REGISTRY.build_cell(cell, seed=degree)
         rows.append(run_once(graph, K, seed=degree))
     # Sweep n at fixed Delta.
-    for n in (96, 192, 384):
-        graph = random_regular_graph(n, 8, seed=n)
+    for cell in sorted(DEFAULT_REGISTRY.cells(tags={"power-mis-n"}),
+                       key=lambda cell: cell.params_dict["n"]):
+        n = cell.params_dict["n"]
+        graph = DEFAULT_REGISTRY.build_cell(cell, seed=n)
         rows.append(run_once(graph, K, seed=n))
     # Sweep k at fixed n, Delta.
-    for k in (1, 2, 3):
-        graph = random_regular_graph(128, 6, seed=40 + k)
-        rows.append(run_once(graph, k, seed=40 + k))
+    for scenario in sorted(DEFAULT_REGISTRY.select(tags={"power-mis-k"}),
+                           key=lambda scenario: scenario.k):
+        graph = DEFAULT_REGISTRY.build_graph(scenario, seed=40 + scenario.k)
+        rows.append(run_once(graph, scenario.k, seed=40 + scenario.k))
     return rows
 
 

@@ -19,13 +19,17 @@ import sys
 import pytest
 
 from harness import delta_of, print_and_store
-from repro.graphs import random_regular_graph
 from repro.mis import power_graph_ruling_set
 from repro.ruling import verify_ruling_set
+from repro.scenarios.registry import DEFAULT_REGISTRY
 
 EXPERIMENT_ID = "E-BETA-ruling-tradeoff"
-K = 2
-BETAS = (1, 2, 3, 4)
+#: The sweep is owned by the scenario registry: the ``beta-tradeoff``-tagged
+#: scenarios fix the graph cell, the power k and the beta grid.
+SWEEP = sorted(DEFAULT_REGISTRY.select(tags={"beta-tradeoff"}),
+               key=lambda scenario: scenario.param("beta"))
+K = SWEEP[0].k if SWEEP else 2
+BETAS = tuple(scenario.param("beta") for scenario in SWEEP)
 
 
 def run_once(graph, k: int, beta: int, seed: int) -> dict[str, object]:
@@ -49,8 +53,12 @@ def run_once(graph, k: int, beta: int, seed: int) -> dict[str, object]:
 
 
 def experiment_rows() -> list[dict[str, object]]:
-    graph = random_regular_graph(200, 12, seed=3)
-    return [run_once(graph, K, beta, seed=beta) for beta in BETAS]
+    rows = []
+    for scenario in SWEEP:
+        graph = DEFAULT_REGISTRY.build_graph(scenario, seed=3)
+        rows.append(run_once(graph, scenario.k, scenario.param("beta"),
+                             seed=scenario.param("beta")))
+    return rows
 
 
 # --------------------------------------------------------------------------
@@ -76,7 +84,7 @@ def test_larger_beta_shrinks_ruling_set():
 
 @pytest.mark.parametrize("beta", [2, 4])
 def test_ruling_set_runtime(benchmark, beta):
-    graph = random_regular_graph(200, 12, seed=3)
+    graph = DEFAULT_REGISTRY.build_cell("regular-n200-d12", seed=3)
     result = benchmark(lambda: power_graph_ruling_set(graph, K, beta,
                                                       rng=random.Random(beta)))
     assert result.ruling_set

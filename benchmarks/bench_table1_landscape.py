@@ -28,7 +28,7 @@ import sys
 
 import pytest
 
-from harness import delta_of, print_and_store, regular_workloads, theory_rounds
+from harness import delta_of, print_and_store, theory_rounds
 from repro.mis import luby_mis_power, power_graph_mis, power_graph_ruling_set, shattering_mis
 from repro.ruling import (
     aglp_ruling_set,
@@ -37,10 +37,22 @@ from repro.ruling import (
     is_mis_of_power_graph,
     verify_ruling_set,
 )
+from repro.scenarios.registry import DEFAULT_REGISTRY
 
 EXPERIMENT_ID = "T1-table1-landscape"
-SIZES = (64, 128, 256)
+#: The Table-1 sweep is owned by the scenario registry (cells tagged
+#: ``table1``); SIZES mirrors it for parameterised re-runs at a subset.
+SIZES = tuple(sorted(cell.params_dict["n"]
+                     for cell in DEFAULT_REGISTRY.cells(tags={"table1"})))
 K = 2
+
+
+def _table1_workloads(sizes, *, seed: int) -> list[tuple[str, object]]:
+    """The registry's Table-1 cells restricted to ``sizes``, built at ``seed``."""
+    cells = {cell.params_dict["n"]: cell
+             for cell in DEFAULT_REGISTRY.cells(tags={"table1"})}
+    return [(cells[n].name, DEFAULT_REGISTRY.build_cell(cells[n], seed=seed))
+            for n in sizes]
 
 
 def _row(algorithm: str, graph_name: str, graph, k: int, rounds: int, valid: bool,
@@ -60,7 +72,7 @@ def _row(algorithm: str, graph_name: str, graph, k: int, rounds: int, valid: boo
 
 def experiment_rows(sizes=SIZES, k: int = K, seed: int = 1) -> list[dict[str, object]]:
     rows: list[dict[str, object]] = []
-    for graph_name, graph in regular_workloads(sizes, degree=6, seed=seed):
+    for graph_name, graph in _table1_workloads(sizes, seed=seed):
         n = graph.number_of_nodes()
         delta = delta_of(graph)
         rng = random.Random(seed)
@@ -114,8 +126,7 @@ def experiment_rows(sizes=SIZES, k: int = K, seed: int = 1) -> list[dict[str, ob
 # --------------------------------------------------------------------------
 @pytest.fixture(scope="module")
 def workload():
-    name, graph = regular_workloads([128], degree=6, seed=1)[0]
-    return graph
+    return DEFAULT_REGISTRY.build_cell("regular-n128-d6", seed=1)
 
 
 def test_luby_power_mis(benchmark, workload):

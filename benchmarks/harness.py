@@ -24,13 +24,14 @@ from typing import Any, Callable, Mapping, Sequence
 import networkx as nx
 
 from repro.analysis.tables import format_table
-from repro.graphs import erdos_renyi_graph, random_regular_graph, unit_disk_graph
 from repro.graphs.properties import max_degree
+from repro.scenarios.registry import DEFAULT_REGISTRY
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 __all__ = [
     "RESULTS_DIR",
+    "ensure_results_dir",
     "regular_workloads",
     "er_workloads",
     "mixed_workloads",
@@ -41,26 +42,35 @@ __all__ = [
 ]
 
 
+def ensure_results_dir() -> str:
+    """Create ``benchmarks/results/`` on demand (fresh checkout / CI safe)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
 def regular_workloads(sizes: Sequence[int], degree: int = 4, *, seed: int = 1,
                       ) -> list[tuple[str, nx.Graph]]:
     """Random regular graphs of the given sizes (the Table-1 style workload)."""
-    return [(f"regular(n={n},d={degree})", random_regular_graph(n, degree, seed=seed))
+    build = DEFAULT_REGISTRY.family("regular").build
+    return [(f"regular(n={n},d={degree})", build(n=n, degree=degree, seed=seed))
             for n in sizes]
 
 
 def er_workloads(sizes: Sequence[int], expected_degree: float = 6.0, *, seed: int = 1,
                  ) -> list[tuple[str, nx.Graph]]:
+    build = DEFAULT_REGISTRY.family("er").build
     return [(f"er(n={n},d~{expected_degree:g})",
-             erdos_renyi_graph(n, expected_degree=expected_degree, seed=seed))
+             build(n=n, expected_degree=expected_degree, seed=seed))
             for n in sizes]
 
 
 def mixed_workloads(n: int, *, seed: int = 1) -> list[tuple[str, nx.Graph]]:
     """One graph per family at a fixed size (used by quality-focused experiments)."""
+    registry = DEFAULT_REGISTRY
     return [
-        (f"regular(n={n})", random_regular_graph(n, 6, seed=seed)),
-        (f"er(n={n})", erdos_renyi_graph(n, expected_degree=6.0, seed=seed)),
-        (f"udg(n={n})", unit_disk_graph(n, seed=seed)),
+        (f"regular(n={n})", registry.family("regular").build(n=n, degree=6, seed=seed)),
+        (f"er(n={n})", registry.family("er").build(n=n, expected_degree=6.0, seed=seed)),
+        (f"udg(n={n})", registry.family("udg").build(n=n, seed=seed)),
     ]
 
 
@@ -73,7 +83,7 @@ def print_and_store(experiment_id: str, rows: Sequence[Mapping[str, object]], *,
         table = f"{table}\n{notes}"
     print()
     print(table)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
+    ensure_results_dir()
     path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(table + "\n")

@@ -15,7 +15,10 @@ IDs on top of them).  This subpackage bundles:
 """
 
 from repro.graphs.generators import (
+    bipartite_crown,
     caterpillar_graph,
+    dense_core_with_pendant_paths,
+    disconnected_union,
     erdos_renyi_graph,
     grid_graph,
     path_graph,
@@ -46,7 +49,10 @@ from repro.graphs.properties import (
 
 __all__ = [
     "ball",
+    "bipartite_crown",
     "caterpillar_graph",
+    "dense_core_with_pendant_paths",
+    "disconnected_union",
     "distance_neighborhood",
     "distance_s_degree",
     "ecc_lower_bound",

@@ -16,7 +16,10 @@ from typing import Iterable
 import networkx as nx
 
 __all__ = [
+    "bipartite_crown",
     "caterpillar_graph",
+    "dense_core_with_pendant_paths",
+    "disconnected_union",
     "erdos_renyi_graph",
     "grid_graph",
     "path_graph",
@@ -30,10 +33,20 @@ __all__ = [
 
 
 def _finalize(graph: nx.Graph) -> nx.Graph:
-    """Normalise a generated graph: simple, undirected, integer labels."""
+    """Normalise a generated graph: simple, undirected, integer labels.
+
+    Node labels are sorted when they are mutually comparable; heterogeneous
+    label sets (e.g. the disjoint union of a grid with tuple labels and a
+    path with integer labels) fall back to insertion order instead of letting
+    ``sorted`` raise ``TypeError``.
+    """
     graph = nx.Graph(graph)
     graph.remove_edges_from(nx.selfloop_edges(graph))
-    mapping = {node: index for index, node in enumerate(sorted(graph.nodes()))}
+    try:
+        ordered = sorted(graph.nodes())
+    except TypeError:
+        ordered = list(graph.nodes())
+    mapping = {node: index for index, node in enumerate(ordered)}
     if any(node != mapping[node] for node in graph.nodes()):
         graph = nx.relabel_nodes(graph, mapping)
     return graph
@@ -186,6 +199,99 @@ def power_law_graph(n: int, exponent: float = 2.5, *,
         components = [sorted(c) for c in nx.connected_components(graph)]
         for first, second in zip(components, components[1:]):
             graph.add_edge(first[0], second[0])
+    return _finalize(graph)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial families (scenario-registry workloads).
+#
+# These stress the assumptions the "nice" families above satisfy for free:
+# connectivity (every component must end up dominated on its own), homogeneous
+# degrees (a dense core next to constant-degree paths breaks near-regularity
+# of G^k) and label comparability (the disjoint union deliberately mixes label
+# types before normalisation).
+# ---------------------------------------------------------------------------
+
+
+def disconnected_union(n: int, components: int = 3, *, seed: int | None = None) -> nx.Graph:
+    """A disjoint union of ``components`` structurally different pieces.
+
+    The pieces cycle through a path (integer labels), a small grid (tuple
+    labels) and a random tree, so the raw union carries *mixed* node labels
+    -- exercising the insertion-order fallback of :func:`_finalize` -- and
+    the result is intentionally disconnected: a correct MIS / ruling set must
+    contain members in every component.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    components = max(1, min(components, n))
+    sizes = [n // components + (1 if i < n % components else 0)
+             for i in range(components)]
+    union = nx.Graph()
+    offset = 0
+    for index, size in enumerate(sizes):
+        kind = index % 3
+        if kind == 0:
+            piece = nx.path_graph(size)
+            union.add_nodes_from((offset + node) for node in piece.nodes())
+            union.add_edges_from((offset + u, offset + v) for u, v in piece.edges())
+        elif kind == 1:
+            rows = max(1, int(math.isqrt(size)))
+            cols = max(1, math.ceil(size / rows))
+            piece = nx.grid_2d_graph(rows, cols)
+            # Trim to exactly `size` nodes, keeping the grid connected.
+            keep = sorted(piece.nodes())[:size]
+            piece = piece.subgraph(keep).copy()
+            union.add_nodes_from(("grid", index, r, c) for r, c in piece.nodes())
+            union.add_edges_from((("grid", index, *u), ("grid", index, *v))
+                                 for u, v in piece.edges())
+        else:
+            piece = random_tree(size, seed=None if seed is None else seed + index)
+            union.add_nodes_from((offset + node) for node in piece.nodes())
+            union.add_edges_from((offset + u, offset + v) for u, v in piece.edges())
+        offset += size
+    return _finalize(union)
+
+
+def dense_core_with_pendant_paths(core: int, paths: int, path_length: int) -> nx.Graph:
+    """A clique of size ``core`` with ``paths`` pendant paths hanging off it.
+
+    Degrees are wildly heterogeneous: core nodes see Theta(core) neighbors
+    while path interiors see 2, and in ``G^k`` every node of a pendant path
+    within distance ``k`` of the core becomes adjacent to the whole clique.
+    This is the adversarial regime for the near-regularity assumption of the
+    sampling probability in Section 5.1.
+    """
+    if core < 1:
+        raise ValueError("core must be >= 1")
+    graph: nx.Graph = nx.complete_graph(core)
+    next_node = core
+    for index in range(max(0, paths)):
+        anchor = index % core
+        previous = anchor
+        for _ in range(max(1, path_length)):
+            graph.add_edge(previous, next_node)
+            previous = next_node
+            next_node += 1
+    return _finalize(graph)
+
+
+def bipartite_crown(m: int) -> nx.Graph:
+    """The crown graph ``S_m^0``: ``K_{m,m}`` minus a perfect matching.
+
+    Every node has degree ``m - 1`` yet the graph is triangle-free, and
+    ``G^2`` is the complete graph on ``2m`` nodes (for ``m >= 3``) -- the
+    extreme "power graph densification" workload where any MIS of ``G^2`` is
+    a single node.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(2 * m))
+    for i in range(m):
+        for j in range(m):
+            if i != j:
+                graph.add_edge(i, m + j)
     return _finalize(graph)
 
 

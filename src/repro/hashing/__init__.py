@@ -7,11 +7,13 @@ fixed one by one with the method of conditional expectations (Claim 5.6).
 """
 
 from repro.hashing.kwise import KWiseHashFamily, KWiseHashFunction
-from repro.hashing.seeds import BitSeed, seed_from_bits
+from repro.hashing.seeds import BitSeed, derive_bit_seed, derive_seed, seed_from_bits
 
 __all__ = [
     "BitSeed",
     "KWiseHashFamily",
     "KWiseHashFunction",
+    "derive_bit_seed",
+    "derive_seed",
     "seed_from_bits",
 ]

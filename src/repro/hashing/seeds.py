@@ -3,13 +3,21 @@
 The method of conditional expectations fixes the ``gamma = Theta(log^2 n)``
 random bits of the hash-function seed one at a time.  A :class:`BitSeed` is
 simply a list of bits with helpers for extending a prefix with 0 or 1.
+
+The module also provides deterministic *seed derivation*
+(:func:`derive_seed` / :func:`derive_bit_seed`): a stable map from a
+namespace of labels (scenario name, repeat index, base seed, ...) to an
+integer seed or bit string.  The scenario batch runner uses it so that every
+task's randomness is a pure function of its identity -- independent of
+worker scheduling, process count or execution order.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
-__all__ = ["BitSeed", "seed_from_bits"]
+__all__ = ["BitSeed", "derive_bit_seed", "derive_seed", "seed_from_bits"]
 
 
 class BitSeed(Sequence[int]):
@@ -66,3 +74,25 @@ class BitSeed(Sequence[int]):
 def seed_from_bits(bits: Iterable[int]) -> BitSeed:
     """Convenience constructor mirroring :class:`BitSeed`."""
     return BitSeed(bits)
+
+
+def derive_seed(*parts: object, bits: int = 48) -> int:
+    """A deterministic integer seed derived from ``parts``.
+
+    The parts are joined (as strings, with an unambiguous separator) and
+    hashed with SHA-256; the result is the low ``bits`` bits of the digest.
+    Unlike :func:`hash`, the value is stable across processes and Python
+    invocations, which is what makes resume-from-store caching and
+    failing-seed reporting reproducible.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    text = "\x1f".join(f"{type(part).__name__}:{part}" for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") & ((1 << bits) - 1)
+
+
+def derive_bit_seed(*parts: object, bits: int = 48) -> BitSeed:
+    """:func:`derive_seed` packaged as a :class:`BitSeed` of length ``bits``."""
+    value = derive_seed(*parts, bits=bits)
+    return BitSeed((value >> (bits - 1 - index)) & 1 for index in range(bits))

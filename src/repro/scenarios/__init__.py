@@ -1,0 +1,107 @@
+"""Scenario registry, parallel batch runner and verification oracles.
+
+This package is the experiment-orchestration layer of the library: the
+paper's evaluation landscape (graph family x (n, Delta, k) x algorithm x
+engine) lives here as *data*, and both the benchmark sweeps and the
+randomized differential tests consume it instead of hand-rolling private
+workload lists.
+
+Registry (``repro.scenarios.registry``)
+---------------------------------------
+:data:`DEFAULT_REGISTRY` names three kinds of objects:
+
+* **graph families** -- every generator in :mod:`repro.graphs.generators`
+  plus the adversarial families (``disconnected-union``,
+  ``dense-core-pendant``, ``bipartite-crown``);
+* **graph cells** -- a family with concrete parameters
+  (``regular-n128-d6``), tagged for selection (``smoke``, ``suite``,
+  ``adversarial``, ``table1``, ``power-mis-*``, ``beta-tradeoff``);
+* **scenarios** -- a cell x algorithm x (k, engine, params), the runnable
+  unit (``regular-n24-d3/power-mis-k2``).
+
+Typical queries::
+
+    from repro.scenarios import DEFAULT_REGISTRY
+    DEFAULT_REGISTRY.select(tags={"smoke"})              # the CI sweep
+    DEFAULT_REGISTRY.cells(tags={"table1"})              # a benchmark sweep
+    DEFAULT_REGISTRY.build_cell("regular-n128-d6", seed=1)
+    DEFAULT_REGISTRY.task_seed(scenario, repeat=0, base_seed=0)
+
+Runner (``repro.scenarios.runner``)
+-----------------------------------
+:func:`run_batch` expands scenarios into ``(scenario, repeat)`` tasks, seeds
+each deterministically via :func:`repro.hashing.seeds.derive_seed`, executes
+them on a ``multiprocessing`` pool, verifies every result with the oracles,
+and persists rows to an append-only JSON-lines store
+(``benchmarks/results/scenarios.jsonl`` by default).  Cells already in the
+store are served from cache, so re-running a sweep only executes the missing
+cells -- the substrate every later scale-out (sharding, remote workers) can
+plug into.
+
+Oracles (``repro.scenarios.oracles``)
+-------------------------------------
+Reusable named checks promoted from :mod:`repro.ruling.verify` and
+:mod:`repro.core.invariants`: MIS-of-``G^k`` independence + maximality,
+``(alpha, beta)``-ruling-set distances, the sparsification invariants
+I1.1 / I1.2 / I2 and Lemma 3.1's bounds, and the differential
+greedy-reference equality for the deterministic simulator run.
+:func:`verify_outcome` dispatches per algorithm; failure messages embed the
+scenario name and derived seed for one-step reproduction.
+
+Command line
+------------
+::
+
+    python -m repro.scenarios list  [--tags suite --algorithm power-mis]
+    python -m repro.scenarios families
+    python -m repro.scenarios run --smoke            # tiny verified CI sweep
+    python -m repro.scenarios run --tags suite --jobs 8 --repeats 3
+
+``run`` exits non-zero when any cell fails its oracles; a second invocation
+reports the previously executed cells as cached.
+"""
+
+from repro.scenarios.algorithms import AlgorithmSpec, ScenarioOutcome
+from repro.scenarios.oracles import (
+    OracleCheck,
+    OracleReport,
+    greedy_reference_oracle,
+    mis_power_oracle,
+    ruling_set_oracle,
+    sparsification_oracle,
+    verify_outcome,
+)
+from repro.scenarios.registry import (
+    DEFAULT_REGISTRY,
+    GraphCell,
+    GraphFamily,
+    Scenario,
+    ScenarioRegistry,
+    default_registry,
+)
+from repro.scenarios.runner import BatchSummary, plan_tasks, run_batch, run_task
+from repro.scenarios.store import ResultStore, default_store_path
+
+__all__ = [
+    "AlgorithmSpec",
+    "BatchSummary",
+    "DEFAULT_REGISTRY",
+    "GraphCell",
+    "GraphFamily",
+    "OracleCheck",
+    "OracleReport",
+    "ResultStore",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioRegistry",
+    "default_registry",
+    "default_store_path",
+    "greedy_reference_oracle",
+    "mis_power_oracle",
+    "plan_tasks",
+    "ruling_set_oracle",
+    "run_batch",
+    "run_task",
+    "sparsification_oracle",
+    "verify_outcome",
+]

@@ -1,0 +1,161 @@
+"""Runnable algorithm adapters for the scenario registry.
+
+Every algorithm the registry can schedule is wrapped in an
+:class:`AlgorithmSpec` whose ``run`` callable has the uniform signature
+``run(graph, scenario, seed) -> ScenarioOutcome``.  The outcome separates
+
+* ``output`` -- the primary node set the algorithm computed;
+* ``metrics`` -- JSON-serialisable diagnostics persisted to the result store;
+* ``payload`` -- live Python objects (ID assignments, sparsification
+  sequences, verification bounds) consumed by the oracle layer in-process
+  and never serialised.
+
+The adapters derive all randomness from the single integer ``seed`` (both
+the CONGEST ID assignment and the algorithm RNG), so a scenario cell is a
+pure function of ``(scenario, seed)`` -- the property the resume cache and
+the failing-seed reports rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+import networkx as nx
+
+from repro.congest.network import CongestNetwork
+from repro.core.power_sparsify import power_graph_sparsification
+from repro.mis.luby import luby_mis_power, simulate_luby_mis
+from repro.mis.power_mis import power_graph_mis
+from repro.mis.power_ruling import power_graph_ruling_set
+from repro.ruling.det_ruling_set import deterministic_power_ruling_set
+from repro.ruling.distributed import simulate_det_ruling_set
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.scenarios.registry import Scenario
+
+Node = Hashable
+
+__all__ = ["AlgorithmSpec", "BUILTIN_ALGORITHMS", "ScenarioOutcome"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario execution produced."""
+
+    output: set[Node]
+    rounds: int
+    metrics: dict[str, Any] = field(default_factory=dict)
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named algorithm the registry can attach to a graph cell."""
+
+    name: str
+    run: Callable[[nx.Graph, "Scenario", int], ScenarioOutcome]
+    description: str = ""
+    simulator_native: bool = False
+
+
+def _run_det_ruling_sim(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    network = CongestNetwork(graph, id_seed=seed)
+    ruling_set, result = simulate_det_ruling_set(network, engine=scenario.engine or "sync")
+    return ScenarioOutcome(
+        output=ruling_set,
+        rounds=result.rounds,
+        metrics={"messages": result.total_messages, "bits": result.total_bits,
+                 "engine": result.engine, "halted": result.halted},
+        payload={"node_ids": dict(network.ids)},
+    )
+
+
+def _run_luby_sim(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    network = CongestNetwork(graph, id_seed=seed)
+    mis, result = simulate_luby_mis(network, seed=seed, engine=scenario.engine or "sync")
+    return ScenarioOutcome(
+        output=mis,
+        rounds=result.rounds,
+        metrics={"messages": result.total_messages, "bits": result.total_bits,
+                 "engine": result.engine, "halted": result.halted},
+    )
+
+
+def _run_luby_power(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    result = luby_mis_power(graph, scenario.k, rng=random.Random(seed))
+    return ScenarioOutcome(
+        output=result.mis,
+        rounds=result.rounds,
+        metrics={"steps": getattr(result, "steps", None)},
+    )
+
+
+def _run_power_mis(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    result = power_graph_mis(graph, scenario.k, rng=random.Random(seed))
+    return ScenarioOutcome(
+        output=result.mis,
+        rounds=result.rounds,
+        metrics={"ruling_set_size": result.ruling_set_size,
+                 "undecided_after_pre": len(result.undecided_after_pre),
+                 "component_sizes": sorted(result.component_sizes, reverse=True)[:8],
+                 "phase_rounds": dict(result.phase_rounds)},
+    )
+
+
+def _run_power_ruling(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    beta = int(scenario.param("beta", 2))
+    result = power_graph_ruling_set(graph, scenario.k, beta, rng=random.Random(seed))
+    return ScenarioOutcome(
+        output=result.ruling_set,
+        rounds=result.rounds,
+        metrics={"beta": beta, "chain_sizes": list(result.chain_sizes),
+                 "phase_rounds": dict(result.phase_rounds)},
+        payload={"alpha": result.alpha, "beta_bound": result.domination_bound},
+    )
+
+
+def _run_det_power_ruling(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    result = deterministic_power_ruling_set(graph, scenario.k, rng=random.Random(seed))
+    return ScenarioOutcome(
+        output=result.ruling_set,
+        rounds=result.rounds,
+        metrics={"q_size": len(result.q), "phase_rounds": dict(result.phase_rounds)},
+        payload={"alpha": result.alpha, "beta_bound": result.beta_bound},
+    )
+
+
+def _run_sparsify(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+    result = power_graph_sparsification(graph, scenario.k, rng=random.Random(seed))
+    return ScenarioOutcome(
+        output=result.q,
+        rounds=result.rounds,
+        metrics={"chain_sizes": [len(q) for q in result.sequence]},
+        payload={"sequence": [set(q) for q in result.sequence]},
+    )
+
+
+BUILTIN_ALGORITHMS: tuple[AlgorithmSpec, ...] = (
+    AlgorithmSpec(
+        name="det-ruling-sim", run=_run_det_ruling_sim, simulator_native=True,
+        description="Deterministic greedy MIS by ID minima on the message-passing runtime"),
+    AlgorithmSpec(
+        name="luby-sim", run=_run_luby_sim, simulator_native=True,
+        description="Luby's MIS of G on the message-passing runtime"),
+    AlgorithmSpec(
+        name="luby-power", run=_run_luby_power,
+        description="Luby's algorithm on G^k (Section 8.1 baseline, O(k log n))"),
+    AlgorithmSpec(
+        name="power-mis", run=_run_power_mis,
+        description="Theorem 1.2: randomized MIS of G^k via shattering"),
+    AlgorithmSpec(
+        name="power-ruling", run=_run_power_ruling,
+        description="Corollary 1.3: (k+1, beta*k)-ruling set of G^k"),
+    AlgorithmSpec(
+        name="det-power-ruling", run=_run_det_power_ruling,
+        description="Theorem 1.1: deterministic (k+1, k^2)-ruling set"),
+    AlgorithmSpec(
+        name="sparsify", run=_run_sparsify,
+        description="Lemma 3.1 / Algorithm 3: power-graph sparsification"),
+)

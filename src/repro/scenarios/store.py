@@ -1,0 +1,81 @@
+"""JSON-lines result store with resume-from-store caching.
+
+Each completed scenario cell is one JSON object per line, keyed by the
+stable ``cell_key`` (scenario name + derived seed).  The format is
+append-only -- re-running a sweep appends only the cells that are missing,
+and loading keeps the *last* row per key so a forced re-run supersedes older
+rows without rewriting the file.  Corrupt or truncated lines (e.g. from a
+killed worker) are skipped rather than poisoning the whole store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Mapping
+
+__all__ = ["ResultStore", "default_store_path"]
+
+
+def default_store_path() -> str:
+    """``benchmarks/results/scenarios.jsonl``, anchored to the repo checkout.
+
+    When the package is imported from a source tree (``src/repro/...`` next
+    to ``benchmarks/``) the store is anchored there, so the CLI caches
+    consistently from any working directory; otherwise it falls back to a
+    path relative to the current directory.
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    anchored = os.path.join(repo_root, "benchmarks")
+    if os.path.isdir(anchored):
+        return os.path.join(anchored, "results", "scenarios.jsonl")
+    return os.path.join("benchmarks", "results", "scenarios.jsonl")
+
+
+class ResultStore:
+    """An append-only JSON-lines store of scenario-runner rows."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """All rows keyed by ``cell_key`` (last write wins, corrupt lines skipped)."""
+        rows: dict[str, dict[str, Any]] = {}
+        if not self.exists():
+            return rows
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = row.get("cell_key")
+                if isinstance(key, str):
+                    rows[key] = row
+        return rows
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one row (creating the parent directory on demand)."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(row), sort_keys=True, default=str) + "\n")
+
+    def append_all(self, rows: Iterator[Mapping[str, Any]] | list[Mapping[str, Any]],
+                   ) -> int:
+        count = 0
+        for row in rows:
+            self.append(row)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.load())

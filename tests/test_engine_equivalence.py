@@ -19,6 +19,7 @@ from repro.graphs import erdos_renyi_graph, random_regular_graph, random_tree, u
 from repro.mis.luby import LubyMISNode, simulate_luby_mis
 from repro.ruling import is_mis_of_power_graph
 from repro.ruling.distributed import DetRulingSetNode, simulate_det_ruling_set
+from repro.scenarios import DEFAULT_REGISTRY
 
 WORKLOADS = [
     ("regular", lambda seed: random_regular_graph(60, 4, seed=seed)),
@@ -112,3 +113,47 @@ class TestEngineEquivalence:
             max_rounds=5)
         _assert_equivalent(sync, active)
         assert sync.rounds == 5 and not sync.halted
+
+
+#: The registry's engine-equivalence sample: every cell that carries an
+#: engine-equivalence-tagged scenario, which by construction spans the smoke
+#: sweep including all three adversarial families.
+REGISTRY_SAMPLE_CELLS = sorted(
+    {scenario.cell for scenario in
+     DEFAULT_REGISTRY.select(tags={"engine-equivalence"})})
+
+
+class TestRegistryEngineEquivalence:
+    """Sync vs ActiveSet over the registry sample (incl. adversarial families).
+
+    Identical outputs, rounds, message totals, bit totals and per-edge
+    congestion are asserted cell by cell -- disconnected unions, dense cores
+    with pendant paths and bipartite crowns included.
+    """
+
+    def test_sample_covers_adversarial_families(self):
+        families = {DEFAULT_REGISTRY.cell(name).family
+                    for name in REGISTRY_SAMPLE_CELLS}
+        assert {"disconnected-union", "dense-core-pendant",
+                "bipartite-crown"} <= families
+        assert len(families) >= 5
+
+    @pytest.mark.parametrize("cell_name", REGISTRY_SAMPLE_CELLS)
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_det_ruling_set_registry_sample(self, cell_name, seed):
+        graph = DEFAULT_REGISTRY.build_cell(cell_name, seed=seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        sync, active = _run_both(network, DetRulingSetNode)
+        _assert_equivalent(sync, active)
+        ruling_set = {node for node, joined in sync.outputs.items() if joined}
+        assert is_mis_of_power_graph(graph, ruling_set, 1)
+
+    @pytest.mark.parametrize("cell_name", REGISTRY_SAMPLE_CELLS)
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_luby_mis_registry_sample(self, cell_name, seed):
+        graph = DEFAULT_REGISTRY.build_cell(cell_name, seed=seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        sync, active = _run_both(network, LubyMISNode, seed=seed)
+        _assert_equivalent(sync, active)
+        mis = {node for node, joined in sync.outputs.items() if joined}
+        assert is_mis_of_power_graph(graph, mis, 1)

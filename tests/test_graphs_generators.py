@@ -6,7 +6,10 @@ import networkx as nx
 import pytest
 
 from repro.graphs import (
+    bipartite_crown,
     caterpillar_graph,
+    dense_core_with_pendant_paths,
+    disconnected_union,
     erdos_renyi_graph,
     grid_graph,
     path_graph,
@@ -17,7 +20,8 @@ from repro.graphs import (
     star_graph,
     unit_disk_graph,
 )
-from repro.graphs.generators import workload_suite
+from repro.graphs.generators import _finalize, workload_suite
+from repro.graphs.power import power_graph
 from repro.graphs.properties import is_connected, max_degree
 
 
@@ -112,6 +116,69 @@ class TestStructuredFamilies:
         graph = power_law_graph(60, seed=6)
         assert is_connected(graph)
         assert graph.number_of_nodes() == 60
+
+
+class TestFinalizeMixedLabels:
+    def test_mixed_labels_fall_back_to_insertion_order(self):
+        # sorted() raises TypeError on tuple-vs-int labels; _finalize must
+        # relabel in insertion order instead of propagating the error.
+        graph = nx.Graph()
+        graph.add_edge(("a", 1), 3)
+        graph.add_edge(3, ("b", 2))
+        graph.add_node(7)
+        result = _finalize(graph)
+        assert sorted(result.nodes()) == [0, 1, 2, 3]
+        assert result.number_of_edges() == 2
+        # Insertion order: ("a",1)->0, 3->1, ("b",2)->2, 7->3.
+        assert {tuple(sorted(edge)) for edge in result.edges()} == {(0, 1), (1, 2)}
+
+    def test_comparable_labels_still_sorted(self):
+        result = _finalize(nx.Graph([(5, 2), (2, 9)]))
+        # sorted: 2->0, 5->1, 9->2.
+        assert {tuple(sorted(edge)) for edge in result.edges()} == {(0, 1), (0, 2)}
+
+
+class TestAdversarialFamilies:
+    def test_disconnected_union_is_disconnected_with_integer_labels(self):
+        graph = disconnected_union(30, 3, seed=4)
+        assert graph.number_of_nodes() == 30
+        assert nx.number_connected_components(graph) >= 3
+        assert sorted(graph.nodes()) == list(range(30))
+
+    def test_disconnected_union_deterministic(self):
+        assert nx.utils.graphs_equal(disconnected_union(24, 3, seed=9),
+                                     disconnected_union(24, 3, seed=9))
+
+    def test_disconnected_union_tiny(self):
+        graph = disconnected_union(2, 5, seed=0)
+        assert graph.number_of_nodes() == 2
+
+    def test_dense_core_structure(self):
+        graph = dense_core_with_pendant_paths(core=6, paths=4, path_length=3)
+        assert graph.number_of_nodes() == 6 + 4 * 3
+        # The core (integer labels sort first, so it stays 0..core-1) is a clique.
+        for u in range(6):
+            for v in range(u + 1, 6):
+                assert graph.has_edge(u, v)
+        # Heterogeneous degrees: clique end vs path interiors.
+        degrees = {degree for _, degree in graph.degree()}
+        assert max(degrees) >= 6 and 1 in degrees
+
+    def test_bipartite_crown_structure(self):
+        m = 5
+        graph = bipartite_crown(m)
+        assert graph.number_of_nodes() == 2 * m
+        assert {degree for _, degree in graph.degree()} == {m - 1}
+        assert sum(nx.triangles(graph).values()) == 0
+        # Densification extreme (m >= 3): the matched pair (i, m+i) is at
+        # distance 3, everything else at distance <= 2 -- so G^2 is the
+        # complete graph minus the original perfect matching and G^3 is
+        # complete.
+        square = power_graph(graph, 2)
+        n = square.number_of_nodes()
+        assert square.number_of_edges() == n * (n - 1) // 2 - m
+        cube = power_graph(graph, 3)
+        assert cube.number_of_edges() == n * (n - 1) // 2
 
 
 class TestWorkloadSuite:

@@ -8,8 +8,38 @@ from collections import Counter
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.hashing import BitSeed, KWiseHashFamily, seed_from_bits
+from repro.hashing import BitSeed, KWiseHashFamily, derive_bit_seed, derive_seed, seed_from_bits
 from repro.hashing.kwise import next_prime
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("scenario", 3, 0) == derive_seed("scenario", 3, 0)
+
+    def test_sensitive_to_parts_order_and_type(self):
+        values = {derive_seed("a", "b"), derive_seed("b", "a"),
+                  derive_seed("a", 1), derive_seed("a", "1"),
+                  derive_seed("ab"), derive_seed("a", "b", 0)}
+        assert len(values) == 6
+
+    def test_bits_bound(self):
+        for bits in (1, 8, 32, 48):
+            assert 0 <= derive_seed("x", bits=bits) < (1 << bits)
+        with pytest.raises(ValueError):
+            derive_seed("x", bits=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=30), st.integers(), st.integers(min_value=1, max_value=64))
+    def test_stable_and_in_range(self, label, repeat, bits):
+        first = derive_seed(label, repeat, bits=bits)
+        assert first == derive_seed(label, repeat, bits=bits)
+        assert 0 <= first < (1 << bits)
+
+    def test_bit_seed_roundtrip(self):
+        for parts in (("scenario-a", 0), ("scenario-a", 1), ("b", 7)):
+            bit_seed = derive_bit_seed(*parts, bits=40)
+            assert len(bit_seed) == 40
+            assert bit_seed.as_int() == derive_seed(*parts, bits=40)
 
 
 class TestPrimes:

@@ -1,0 +1,243 @@
+"""The parallel batch runner: rows, store caching, parallel determinism, CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import networkx as nx
+import pytest
+
+from repro.scenarios import (
+    DEFAULT_REGISTRY,
+    AlgorithmSpec,
+    GraphFamily,
+    ResultStore,
+    ScenarioOutcome,
+    ScenarioRegistry,
+    run_batch,
+    run_task,
+)
+from repro.scenarios.cli import main
+
+SMOKE = DEFAULT_REGISTRY.select(tags={"smoke"})
+
+
+def _comparable(row):
+    """Row content that must be identical across runs/processes."""
+    return (row["cell_key"], row["rounds"], row["output_size"], row["ok"],
+            row["n"], row["m"], row["checks"])
+
+
+class TestRunTask:
+    def test_row_schema_and_verification(self):
+        scenario = DEFAULT_REGISTRY.select(names=["regular-n24-d3/power-mis-k2"])[0]
+        seed = DEFAULT_REGISTRY.task_seed(scenario)
+        row = run_task(scenario, seed=seed)
+        assert row["cell_key"] == scenario.cell_key(seed)
+        assert row["family"] == "regular"
+        assert row["algorithm"] == "power-mis"
+        assert row["k"] == 2
+        assert row["n"] == 24
+        assert row["ok"] and row["checks"] >= 3 and row["failures"] == []
+        json.dumps(row)  # every row must be JSON-serialisable
+
+    def test_unverified_row(self):
+        scenario = SMOKE[0]
+        row = run_task(scenario, seed=1, verify=False)
+        assert row["ok"] and row["checks"] == 0
+
+
+class TestBatchAndStore:
+    def test_store_roundtrip_and_caching(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        scenarios = SMOKE[:6]
+        first = run_batch(scenarios, jobs=1, store_path=store_path)
+        assert first.ok
+        assert (first.executed, first.cached) == (6, 0)
+        second = run_batch(scenarios, jobs=1, store_path=store_path)
+        assert second.ok
+        assert (second.executed, second.cached) == (0, 6)
+        assert all(row["cached"] for row in second.rows)
+        assert [_comparable(r) for r in sorted(first.rows, key=lambda r: r["cell_key"])] \
+            == [_comparable(r) for r in sorted(second.rows, key=lambda r: r["cell_key"])]
+
+    def test_new_cells_only_are_executed(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        run_batch(SMOKE[:3], jobs=1, store_path=store_path)
+        grown = run_batch(SMOKE[:5], jobs=1, store_path=store_path)
+        assert (grown.executed, grown.cached) == (2, 3)
+
+    def test_no_resume_re_executes(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        run_batch(SMOKE[:2], jobs=1, store_path=store_path)
+        fresh = run_batch(SMOKE[:2], jobs=1, store_path=store_path, resume=False)
+        assert (fresh.executed, fresh.cached) == (2, 0)
+
+    def test_corrupt_store_lines_are_skipped(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        run_batch(SMOKE[:2], jobs=1, store_path=store_path)
+        with open(store_path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        summary = run_batch(SMOKE[:2], jobs=1, store_path=store_path)
+        assert (summary.executed, summary.cached) == (0, 2)
+
+    def test_repeats_derive_distinct_seeds(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        summary = run_batch(SMOKE[:1], jobs=1, repeats=3, store_path=store_path)
+        assert summary.executed == 3
+        assert len({row["seed"] for row in summary.rows}) == 3
+
+    def test_parallel_matches_serial(self):
+        scenarios = SMOKE[:4]
+        serial = run_batch(scenarios, jobs=1, store_path="")
+        parallel = run_batch(scenarios, jobs=2, store_path="")
+        assert serial.ok and parallel.ok
+        key = lambda row: row["cell_key"]
+        assert [_comparable(r) for r in sorted(serial.rows, key=key)] \
+            == [_comparable(r) for r in sorted(parallel.rows, key=key)]
+
+    def test_store_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        summary = run_batch(SMOKE[:1], jobs=1, store_path="")
+        assert summary.store_path is None
+        assert not (tmp_path / "benchmarks").exists()
+
+    def test_unverified_rows_do_not_satisfy_a_verifying_batch(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        loose = run_batch(SMOKE[:2], jobs=1, store_path=store_path, verify=False)
+        assert all(row["checks"] == 0 for row in loose.rows)
+        strict = run_batch(SMOKE[:2], jobs=1, store_path=store_path)
+        assert (strict.executed, strict.cached) == (2, 0)
+        assert all(row["checks"] > 0 for row in strict.rows)
+        # ...and the verified rows now satisfy both verifying and loose runs.
+        assert run_batch(SMOKE[:2], jobs=1, store_path=store_path).cached == 2
+        assert run_batch(SMOKE[:2], jobs=1, store_path=store_path,
+                         verify=False).cached == 2
+
+    def test_unknown_cell_yields_failed_row_not_batch_abort(self):
+        ghost = dataclasses.replace(SMOKE[0], name="ghost", cell="no-such-cell")
+        summary = run_batch([SMOKE[1], ghost], jobs=1, store_path="")
+        assert summary.executed == 2 and len(summary.failed) == 1
+        (row,) = summary.failed
+        assert row["scenario"] == "ghost"
+        assert any("KeyError" in failure for failure in row["failures"])
+
+    def test_no_verify_summary_does_not_claim_verification(self):
+        summary = run_batch(SMOKE[:2], jobs=1, store_path="", verify=False)
+        assert "skipped (verification disabled)" in summary.format()
+        assert "verified ok" not in summary.format()
+
+    def test_unregistered_scenario_falls_back_to_serial(self):
+        # A scenario object that is not registered verbatim in the default
+        # registry must run in-process even when a pool is requested --
+        # workers resolve tasks by name and would otherwise mis-execute.
+        adhoc = dataclasses.replace(SMOKE[0], name="adhoc-copy")
+        summary = run_batch([adhoc], jobs=4, store_path="")
+        assert summary.ok and summary.executed == 1
+        assert summary.rows[0]["scenario"] == "adhoc-copy"
+
+
+class TestOracleFailureSurfacing:
+    def _broken_registry(self) -> ScenarioRegistry:
+        registry = ScenarioRegistry()
+        registry.register_family(GraphFamily("path", nx.path_graph, seeded=False))
+        registry.register_cell("p10", "path", params={"n": 10})
+
+        def broken(graph, scenario, seed):
+            return ScenarioOutcome(output=set(), rounds=0)
+
+        registry.register_algorithm(AlgorithmSpec(name="power-mis", run=broken))
+        registry.add_scenario("p10", "power-mis", k=1, tags={"broken"})
+        return registry
+
+    def test_failures_reported_with_cell_key(self, tmp_path):
+        registry = self._broken_registry()
+        summary = run_batch(registry.scenarios(), registry=registry,
+                            store_path=str(tmp_path / "r.jsonl"))
+        assert not summary.ok
+        (row,) = summary.failed
+        assert row["failures"]
+        assert "domination" in " ".join(row["failures"])
+        assert row["cell_key"] in summary.format()
+
+    def test_failed_rows_are_not_served_from_cache(self, tmp_path):
+        # A red cell must re-execute on resume, so fixing the algorithm
+        # clears it without deleting the store.
+        store_path = str(tmp_path / "r.jsonl")
+        broken = self._broken_registry()
+        first = run_batch(broken.scenarios(), registry=broken,
+                          store_path=store_path)
+        assert not first.ok and first.executed == 1
+
+        fixed = ScenarioRegistry()
+        fixed.register_family(GraphFamily("path", nx.path_graph, seeded=False))
+        fixed.register_cell("p10", "path", params={"n": 10})
+
+        def working(graph, scenario, seed):
+            mis = {node for node in graph.nodes() if node % 2 == 0}
+            return ScenarioOutcome(output=mis, rounds=1)
+
+        fixed.register_algorithm(AlgorithmSpec(name="power-mis", run=working))
+        fixed.add_scenario("p10", "power-mis", k=1, tags={"broken"})
+        second = run_batch(fixed.scenarios(), registry=fixed,
+                           store_path=store_path)
+        assert second.ok and (second.executed, second.cached) == (1, 0)
+        # The green row now supersedes the red one in the store.
+        third = run_batch(fixed.scenarios(), registry=fixed,
+                          store_path=store_path)
+        assert third.ok and third.cached == 1
+
+    def test_crashing_algorithm_yields_failed_row_not_batch_abort(self, tmp_path):
+        registry = ScenarioRegistry()
+        registry.register_family(GraphFamily("path", nx.path_graph, seeded=False))
+        registry.register_cell("p10", "path", params={"n": 10})
+
+        def exploding(graph, scenario, seed):
+            raise RuntimeError("boom")
+
+        registry.register_algorithm(AlgorithmSpec(name="power-mis", run=exploding))
+        registry.add_scenario("p10", "power-mis", k=1)
+        summary = run_batch(registry.scenarios(), registry=registry,
+                            store_path=str(tmp_path / "r.jsonl"))
+        assert not summary.ok
+        (row,) = summary.failed
+        assert any("RuntimeError" in failure for failure in row["failures"])
+
+
+class TestResultStore:
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        store.append({"cell_key": "a", "v": 1})
+        store.append({"cell_key": "a", "v": 2})
+        assert store.load()["a"]["v"] == 2
+        assert len(store) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path / "missing" / "s.jsonl"))
+        assert store.load() == {}
+
+
+class TestCLI:
+    def test_list_smoke(self, capsys):
+        assert main(["list", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "det-ruling-sim" in out and "bipartite-crown" in out
+
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        assert "dense-core-pendant" in capsys.readouterr().out
+
+    def test_run_then_cached(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.jsonl")
+        assert main(["run", "--smoke", "--limit", "5", "--jobs", "1",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "5 executed, 0 cached" in first
+        assert main(["run", "--smoke", "--limit", "5", "--jobs", "1",
+                     "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 5 cached" in second
+
+    def test_empty_selection_is_an_error(self, capsys):
+        assert main(["run", "--tags", "no-such-tag", "--store", ""]) == 2
