@@ -13,13 +13,11 @@ candidate chain.
 
 from __future__ import annotations
 
-import random
 import sys
 
 import pytest
 
-from harness import delta_of, print_and_store
-from repro.mis import power_graph_ruling_set
+from harness import delta_of, print_and_store, run_solver
 from repro.ruling import verify_ruling_set
 from repro.scenarios.registry import DEFAULT_REGISTRY
 
@@ -33,22 +31,29 @@ BETAS = tuple(scenario.param("beta") for scenario in SWEEP)
 
 
 def run_once(graph, k: int, beta: int, seed: int) -> dict[str, object]:
-    result = power_graph_ruling_set(graph, k, beta, rng=random.Random(seed))
-    report = verify_ruling_set(graph, result.ruling_set, result.alpha,
-                               result.domination_bound)
+    # verify=False: the explicit verify_ruling_set below measures the exact
+    # radii AND decides validity, so the certificate's (identical) check
+    # would only duplicate the all-nodes BFS per row.
+    solve_report = run_solver(graph, "power-ruling", seed=seed, k=k, beta=beta,
+                              verify=False)
+    beta_bound = solve_report.payload["beta_bound"]
+    measured = verify_ruling_set(graph, solve_report.output,
+                                 solve_report.payload["alpha"], beta_bound)
+    phase_rounds = solve_report.metrics["phase_rounds"]
     return {
         "n": graph.number_of_nodes(),
         "Delta": delta_of(graph),
         "k": k,
         "beta": beta,
-        "rounds": result.rounds,
-        "kp12 rounds": result.phase_rounds.get("kp12-sparsification", 0),
-        "final MIS rounds": result.phase_rounds.get("final-mis", 0),
-        "domination (measured)": report.domination,
-        "bound k*beta": result.domination_bound,
-        "|ruling set|": report.size,
-        "candidate chain": "->".join(str(size) for size in result.chain_sizes),
-        "valid": report.ok,
+        "rounds": solve_report.rounds,
+        "kp12 rounds": phase_rounds.get("kp12-sparsification", 0),
+        "final MIS rounds": phase_rounds.get("final-mis", 0),
+        "domination (measured)": measured.domination,
+        "bound k*beta": beta_bound,
+        "|ruling set|": measured.size,
+        "candidate chain": "->".join(str(size)
+                                     for size in solve_report.metrics["chain_sizes"]),
+        "valid": measured.ok,
     }
 
 
@@ -85,9 +90,9 @@ def test_larger_beta_shrinks_ruling_set():
 @pytest.mark.parametrize("beta", [2, 4])
 def test_ruling_set_runtime(benchmark, beta):
     graph = DEFAULT_REGISTRY.build_cell("regular-n200-d12", seed=3)
-    result = benchmark(lambda: power_graph_ruling_set(graph, K, beta,
-                                                      rng=random.Random(beta)))
-    assert result.ruling_set
+    report = benchmark(lambda: run_solver(graph, "power-ruling", seed=beta,
+                                          k=K, beta=beta, verify=False))
+    assert report.output
 
 
 def main() -> None:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Mapping, Sequence
 import networkx as nx
 
 from repro.analysis.tables import format_table
+from repro.api import RunReport, solve
 from repro.graphs.properties import max_degree
 from repro.scenarios.registry import DEFAULT_REGISTRY
 
@@ -31,15 +32,41 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 __all__ = [
     "RESULTS_DIR",
+    "certify_report",
     "ensure_results_dir",
     "regular_workloads",
     "er_workloads",
     "mixed_workloads",
     "print_and_store",
     "polylog_bound",
+    "run_solver",
     "theory_rounds",
     "time_rounds_per_sec",
 ]
+
+
+def run_solver(graph: nx.Graph, algorithm: str, *, seed: int,
+               **config: Any) -> RunReport:
+    """Dispatch one certified solve through :mod:`repro.api`.
+
+    The benchmark sweeps route through the same registry as the scenario
+    runner and the CLI, so a benchmark row is always a certified
+    ``RunReport`` -- ``report.verified`` is the row's validity column.
+    Timed pytest-benchmark lambdas pass ``verify=False`` (the timer must
+    measure the algorithm, not the certifier) and certify the produced
+    report once afterwards with :func:`certify_report`.
+    """
+    return solve(graph, algorithm, seed=seed, **config)
+
+
+def certify_report(graph: nx.Graph, report: RunReport):
+    """Run the report's problem certifier on an unverified RunReport."""
+    from repro.api import REGISTRY
+
+    spec = REGISTRY.algorithm(report.algorithm)
+    return REGISTRY.problem(spec.problem).certify(
+        graph, report.output, config=dict(report.provenance.config),
+        payload=report.payload)
 
 
 def ensure_results_dir() -> str:

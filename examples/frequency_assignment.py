@@ -24,12 +24,12 @@ from __future__ import annotations
 
 import random
 
-from repro import power_graph_mis
+import repro
 from repro.analysis.tables import format_table
 from repro.graphs import unit_disk_graph
 from repro.graphs.power import distance_neighborhood
 from repro.graphs.properties import max_degree
-from repro.ruling import is_mis_of_power_graph
+from repro.mis.power_mis import power_graph_mis
 
 
 def distance2_coloring(graph, rng: random.Random) -> dict:
@@ -38,6 +38,8 @@ def distance2_coloring(graph, rng: random.Random) -> dict:
     Repeatedly computes an MIS of ``G^2`` restricted to the still-uncolored
     transmitters; each MIS becomes one frequency class.  This is the classic
     reduction from distance-2 coloring to iterated MIS of the square graph.
+    (The restricted ``candidates=`` form is the module-level API; the
+    unrestricted first class below goes through ``repro.solve``.)
     """
     colors: dict = {}
     uncolored = set(graph.nodes())
@@ -69,11 +71,12 @@ def main() -> None:
           f"max degree {delta}\n")
 
     # Step 1: the first frequency class = MIS of G^2 (cluster heads that can
-    # all use frequency 0 without interfering at any common neighbor).
-    first_class = power_graph_mis(transmitters, 2, rng=rng)
-    assert is_mis_of_power_graph(transmitters, first_class.mis, 2)
-    print(f"Frequency 0 can be shared by {len(first_class.mis)} transmitters "
-          f"(a verified MIS of G^2, computed in {first_class.rounds} CONGEST rounds).\n")
+    # all use frequency 0 without interfering at any common neighbor),
+    # dispatched and certified through the solver API.
+    first_class = repro.solve(transmitters, "power-mis", k=2, seed=3)
+    assert first_class.verified, first_class.certificate.summary()
+    print(f"Frequency 0 can be shared by {len(first_class.output)} transmitters "
+          f"(a certified MIS of G^2, computed in {first_class.rounds} CONGEST rounds).\n")
 
     # Step 2: the full plan.
     colors = distance2_coloring(transmitters, rng)

@@ -1,33 +1,27 @@
-"""Quickstart: compute and verify symmetry-breaking structures on a power graph.
+"""Quickstart: certified solves through the typed solver API.
 
-This example walks through the library's main entry points on a single small
-network:
+This example walks through the library's single entry point --
+``repro.solve(graph, algorithm_or_problem, **config) -> RunReport`` -- on a
+small network:
 
 1. build a communication graph ``G``;
-2. sparsify its power graph ``G^k`` (Lemma 3.1) and check the guarantees;
+2. sparsify its power graph ``G^k`` (Lemma 3.1) and read the certificate;
 3. compute the deterministic ``(k+1, k^2)``-ruling set of Theorem 1.1;
 4. compute the randomized MIS of ``G^k`` of Theorem 1.2 and compare it with
-   the Luby baseline (Section 8.1);
-5. verify every output with the library's checkers.
+   the Luby baseline (Section 8.1) -- both through the same ``solve`` call;
+5. replay a run bit-for-bit from its provenance block.
+
+Every solve is verified by default: the report carries a certificate whose
+checks are the same oracles the scenario runner applies in CI.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import random
-
 import networkx as nx
 
-from repro import (
-    check_power_sparsification,
-    deterministic_power_ruling_set,
-    is_mis_of_power_graph,
-    luby_mis_power,
-    power_graph_mis,
-    power_graph_sparsification,
-    verify_ruling_set,
-)
+import repro
 from repro.analysis.tables import format_table
 
 
@@ -38,53 +32,67 @@ def main() -> None:
     # they are within two hops of each other.
     n, degree, k = 100, 4, 2
     graph = nx.random_regular_graph(degree, n, seed=7)
-    print(f"Communication graph: n={n}, Delta={degree}, problem instance: G^{k}\n")
+    print(f"Communication graph: n={n}, Delta={degree}, problem instance: G^{k}")
+    print(f"Registered algorithms: {', '.join(repro.api.REGISTRY.algorithm_names())}\n")
 
     # ------------------------------------------------------------------ 2.
     # Sparsification (the paper's main technical tool, Lemma 3.1): find a
     # subset Q that every node sees only O(log n) times within distance k,
-    # yet no node is more than k^2 + k hops away from Q.
-    sparsification = power_graph_sparsification(graph, k)
-    check = check_power_sparsification(graph, set(graph.nodes()), sparsification.q, k)
+    # yet no node is more than k^2 + k hops away from Q.  The certificate
+    # checks the invariants I1.1 / I1.2 / I2 and Lemma 3.1's bounds.
+    sparsification = repro.solve(graph, "sparsify", k=k, seed=1)
     print("Sparsification (Lemma 3.1)")
-    print(f"  |Q| = {len(sparsification.q)}")
-    print(f"  max distance-{k} Q-degree = {check.max_q_degree}"
-          f"  (bound 72 ln n = {check.q_degree_bound:.1f})")
-    print(f"  max domination excess    = {check.max_domination}"
-          f"  (bound k^2 + k = {k * k + k})")
+    print(f"  |Q| = {len(sparsification.output)}")
+    print(f"  chain sizes              = {sparsification.metrics['chain_sizes']}")
     print(f"  charged CONGEST rounds   = {sparsification.rounds}")
-    print(f"  all guarantees hold      = {check.ok}\n")
+    print(f"  certificate              = {sparsification.certificate.summary()}\n")
 
     # ------------------------------------------------------------------ 3.
     # Theorem 1.1: deterministic (k+1, k^2)-ruling set, i.e. a k-ruling set
     # of G^k: rulers are pairwise more than k apart, every node has a ruler
-    # within k^2 hops.
-    det = deterministic_power_ruling_set(graph, k)
-    det_report = verify_ruling_set(graph, det.ruling_set, alpha=k + 1, beta=det.beta_bound)
+    # within k^2 hops.  The ruling-set certifier reads the (alpha, beta)
+    # guarantees the algorithm placed in the report payload.
+    det = repro.solve(graph, "det-power-ruling", k=k, seed=1)
     print("Deterministic ruling set (Theorem 1.1)")
-    print(f"  rulers: {sorted(det.ruling_set)}")
-    print(f"  independence = {det_report.independence} (needs >= {k + 1}),"
-          f" domination = {det_report.domination} (needs <= {det.beta_bound})")
-    print(f"  rounds = {det.rounds}  "
-          f"(phases: {det.phase_rounds})")
-    print(f"  valid = {det_report.ok}\n")
+    print(f"  rulers: {sorted(det.output)}")
+    print(f"  alpha = {det.payload['alpha']}, beta bound = {det.payload['beta_bound']}")
+    print(f"  rounds = {det.rounds}  (phases: {det.metrics['phase_rounds']})")
+    print(f"  certificate = {det.certificate.summary()}\n")
 
     # ------------------------------------------------------------------ 4.
-    # Theorem 1.2 vs Luby: both compute an MIS of G^k; the shattering-based
-    # algorithm replaces the O(k log n) dependence by k^2 log Delta loglog n.
-    rng = random.Random(0)
-    thm12 = power_graph_mis(graph, k, rng=rng)
-    luby = luby_mis_power(graph, k, rng=rng)
+    # Theorem 1.2 vs Luby: both compute an MIS of G^k through the same call;
+    # the shattering-based algorithm replaces the O(k log n) dependence by
+    # k^2 log Delta loglog n.
+    reports = {name: repro.solve(graph, name, k=k, seed=0)
+               for name in ("power-mis", "luby-power")}
     rows = [
-        {"algorithm": "Theorem 1.2 (shattering)", "rounds": thm12.rounds,
-         "|MIS|": len(thm12.mis), "valid": is_mis_of_power_graph(graph, thm12.mis, k)},
-        {"algorithm": "Luby on G^k (baseline)", "rounds": luby.rounds,
-         "|MIS|": len(luby.mis), "valid": is_mis_of_power_graph(graph, luby.mis, k)},
+        {"algorithm": "Theorem 1.2 (shattering)", "rounds": reports["power-mis"].rounds,
+         "|MIS|": len(reports["power-mis"].output),
+         "valid": reports["power-mis"].verified},
+        {"algorithm": "Luby on G^k (baseline)", "rounds": reports["luby-power"].rounds,
+         "|MIS|": len(reports["luby-power"].output),
+         "valid": reports["luby-power"].verified},
     ]
     print(format_table(rows, title=f"MIS of G^{k} -- randomized algorithms"))
     print()
-    print("Both outputs are verified maximal independent sets of G^k; see")
-    print("benchmarks/bench_power_mis.py for the full Delta / n sweeps.")
+
+    # ------------------------------------------------------------------ 5.
+    # Reproducibility: the provenance block (algorithm, config, derived
+    # seed, graph fingerprint) replays the run bit-for-bit.
+    provenance = reports["power-mis"].provenance
+    replayed = repro.replay(graph, provenance)
+    print(f"Provenance: seed={provenance.seed} ({provenance.seed_policy}), "
+          f"graph fingerprint={provenance.graph_fingerprint}")
+    print(f"Replay reproduces the MIS bit-for-bit: "
+          f"{replayed.output == reports['power-mis'].output}")
+    print()
+    print("All outputs above are certified; see benchmarks/bench_power_mis.py")
+    print("for the full Delta / n sweeps and `repro solve --help` for the CLI.")
+
+    all_reports = {"sparsify": sparsification, "det-power-ruling": det, **reports}
+    failed = [name for name, report in all_reports.items() if not report.verified]
+    if failed:
+        raise SystemExit(f"certificate failure in: {failed}")
 
 
 if __name__ == "__main__":

@@ -20,10 +20,9 @@ Run with:  python examples/sensor_clustering.py
 
 from __future__ import annotations
 
-import random
 from collections import defaultdict
 
-from repro import deterministic_power_ruling_set, power_graph_ruling_set
+import repro
 from repro.analysis.tables import format_table
 from repro.graphs import unit_disk_graph
 from repro.graphs.power import bounded_bfs
@@ -45,7 +44,6 @@ def assign_to_heads(graph, members, heads, radius):
 
 
 def main() -> None:
-    rng = random.Random(11)
     field = unit_disk_graph(200, seed=11)
     print(f"Sensor field: {field.number_of_nodes()} sensors, "
           f"{field.number_of_edges()} links\n")
@@ -62,17 +60,17 @@ def main() -> None:
     level_heads: dict[int, set] = {}
 
     for level, k, algorithm in levels:
+        # Both Theorem 1.1 and Corollary 1.3 are registered solvers; the
+        # (alpha, beta) guarantees ride in the report payload either way.
         if algorithm == "deterministic":
-            result = deterministic_power_ruling_set(field, k)
-            heads = result.ruling_set & current_members or result.ruling_set
-            beta = result.beta_bound
-            rounds = result.rounds
+            result = repro.solve(field, "det-power-ruling", k=k, seed=11)
         else:
             # Corollary 1.3 with beta = 2: domination 2k, much cheaper rounds.
-            result = power_graph_ruling_set(field, k, beta=2, rng=rng)
-            heads = result.ruling_set
-            beta = result.domination_bound
-            rounds = result.rounds
+            result = repro.solve(field, "power-ruling", k=k, beta=2, seed=11)
+        assert result.verified, result.certificate.summary()
+        heads = result.output
+        beta = result.payload["beta_bound"]
+        rounds = result.rounds
         # Heads at level L must come from the members of level L-1; re-anchor
         # by keeping only member heads and, if that empties the set, falling
         # back to the full ruling set (still valid for the whole field).

@@ -19,15 +19,14 @@ import random
 
 import networkx as nx
 
-from repro import power_graph_mis, shattering_mis
+import repro
 from repro.analysis.tables import format_table
 from repro.graphs import random_regular_graph
 from repro.graphs.properties import max_degree
 from repro.mis.shattering import component_size_bound, pre_shattering
-from repro.ruling import is_mis_of_power_graph
 
 
-def dissect_mis_of_g(graph, rng) -> None:
+def dissect_mis_of_g(graph) -> None:
     n = graph.number_of_nodes()
     delta = max_degree(graph)
     print("=" * 72)
@@ -43,30 +42,33 @@ def dissect_mis_of_g(graph, rng) -> None:
     print(f"residual components: {len(components)}, largest = {max(components, default=0)}, "
           f"Lemma 7.3 (P2) reference = {component_size_bound(n, delta):.0f}")
 
-    # The full algorithm, both post-shattering approaches.
+    # The full algorithm, both post-shattering approaches, through the
+    # solver API (Theorem 1.4; the native result rides in the payload).
     rows = []
     for approach in ("two-phase", "one-phase"):
-        result = shattering_mis(graph, approach=approach, rng=rng)
+        report = repro.solve(graph, "shattering-mis", approach=approach, seed=42)
+        result = report.result
         rows.append({
             "approach": approach,
-            "rounds": result.rounds,
-            "|MIS|": len(result.mis),
+            "rounds": report.rounds,
+            "|MIS|": len(report.output),
             "largest residual component": result.max_component_size,
             "largest ruling set |R_C|": max(result.ruling_set_sizes, default=0),
-            "valid MIS of G": is_mis_of_power_graph(graph, result.mis, 1),
+            "valid MIS of G": report.verified,
         })
     print()
     print(format_table(rows, title="Post-shattering approaches (Section 7.2.1 vs 7.2.2)"))
     print()
 
 
-def dissect_mis_of_gk(graph, k, rng) -> None:
+def dissect_mis_of_gk(graph, k) -> None:
     n = graph.number_of_nodes()
     delta = max_degree(graph)
     print("=" * 72)
     print(f"Shattering MIS of G^{k}   (n={n}, Delta={delta})")
     print("=" * 72)
-    result = power_graph_mis(graph, k, rng=rng)
+    report = repro.solve(graph, "power-mis", k=k, seed=42)
+    result = report.result
     print(f"pre-shattering left {len(result.undecided_after_pre)} undecided nodes")
     print(f"ball-graph components: {len(result.component_sizes)} "
           f"(sizes {sorted(result.component_sizes, reverse=True)[:5]} ...)")
@@ -78,17 +80,15 @@ def dissect_mis_of_gk(graph, k, rng) -> None:
     rows.append({"phase": "total", "rounds": result.rounds})
     print(format_table(rows, title=f"Round breakdown (Theorem 1.2, k={k})"))
     print()
-    print(f"output is a verified MIS of G^{k}: "
-          f"{is_mis_of_power_graph(graph, result.mis, k)}  "
-          f"(|MIS| = {len(result.mis)})")
+    print(f"output is a certified MIS of G^{k}: {report.verified}  "
+          f"(|MIS| = {len(report.output)})")
     print()
 
 
 def main() -> None:
-    rng = random.Random(42)
     graph = random_regular_graph(300, 8, seed=42)
-    dissect_mis_of_g(graph, rng)
-    dissect_mis_of_gk(random_regular_graph(150, 6, seed=43), 2, rng)
+    dissect_mis_of_g(graph)
+    dissect_mis_of_gk(random_regular_graph(150, 6, seed=43), 2)
 
 
 if __name__ == "__main__":

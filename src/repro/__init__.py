@@ -19,15 +19,41 @@ The library implements, on a CONGEST simulator / round-cost model:
 
 Quickstart
 ----------
+Every algorithm is registered in the typed solver API and dispatched
+through one call -- ``repro.solve(graph, algorithm_or_problem, **config)``
+-- which returns a :class:`~repro.api.RunReport` carrying the solution set,
+the charged CONGEST rounds, provenance (algorithm, config, derived seed,
+graph fingerprint) and a verification certificate:
+
 >>> import networkx as nx
->>> from repro import deterministic_power_ruling_set, verify_ruling_set
+>>> import repro
 >>> graph = nx.random_regular_graph(4, 60, seed=1)
->>> result = deterministic_power_ruling_set(graph, k=2)
->>> report = verify_ruling_set(graph, result.ruling_set, alpha=3, beta=result.beta_bound)
->>> report.ok
+>>> report = repro.solve(graph, "det-power-ruling", k=2, seed=7)
+>>> report.certificate.ok          # (k+1, k^2)-ruling set, verified
 True
+>>> report.rounds > 0              # charged CONGEST rounds
+True
+>>> replayed = repro.replay(graph, report.provenance)
+>>> replayed.output == report.output
+True
+
+``repro.solve(graph, "mis-power", k=2)`` dispatches a problem *family* to
+its default algorithm (Theorem 1.2's shattering MIS).  The registered
+algorithms are listed by ``repro.api.REGISTRY.algorithm_names()`` and the
+``repro`` command line (``repro solve <cell> <algorithm>``,
+``repro scenarios run --smoke``).
+
+The legacy free functions (``repro.power_graph_mis`` and friends) remain as
+deprecation shims with bit-identical outputs; new code should call
+``repro.solve`` or import the implementation modules directly.
 """
 
+import functools as _functools
+import warnings as _warnings
+
+from repro import api
+from repro.api import Certificate, Problem, Provenance, RunReport, replay, solve
+from repro.api.registry import Algorithm, SolverRegistry
 from repro.congest import (
     ActiveSetEngine,
     CongestNetwork,
@@ -37,47 +63,117 @@ from repro.congest import (
     Simulator,
     SyncEngine,
 )
-from repro.core import (
+from repro.core.detsparsify import det_sparsification as _det_sparsification
+from repro.core.invariants import (
     check_power_sparsification,
     check_sparsification,
-    det_sparsification,
-    power_graph_sparsification,
-    power_graph_sparsification_low_diameter,
-    randomized_sparsification,
     verify_invariants,
 )
-from repro.decomposition import form_distance_k_ball_graph, network_decomposition
-from repro.graphs import power_graph
-from repro.mis import (
-    beeping_mis,
-    beeping_mis_power,
-    luby_mis,
-    luby_mis_power,
-    power_graph_mis,
-    power_graph_ruling_set,
-    shattering_mis,
+from repro.core.power_sparsify import (
+    power_graph_sparsification as _power_graph_sparsification,
+    power_graph_sparsification_low_diameter as _power_graph_sparsification_low_diameter,
 )
-from repro.ruling import (
-    aglp_ruling_set,
-    deterministic_power_ruling_set,
-    greedy_mis,
-    id_based_ruling_set,
+from repro.core.sampling import randomized_sparsification as _randomized_sparsification
+from repro.decomposition.ball_graph import (
+    form_distance_k_ball_graph as _form_distance_k_ball_graph,
+)
+from repro.decomposition.network_decomposition import (
+    network_decomposition as _network_decomposition,
+)
+from repro.graphs import power_graph
+from repro.mis.beeping import (
+    beeping_mis as _beeping_mis,
+    beeping_mis_power as _beeping_mis_power,
+)
+from repro.mis.luby import luby_mis as _luby_mis, luby_mis_power as _luby_mis_power
+from repro.mis.power_mis import power_graph_mis as _power_graph_mis
+from repro.mis.power_ruling import power_graph_ruling_set as _power_graph_ruling_set
+from repro.mis.shattering import shattering_mis as _shattering_mis
+from repro.ruling.aglp import (
+    aglp_ruling_set as _aglp_ruling_set,
+    id_based_ruling_set as _id_based_ruling_set,
+)
+from repro.ruling.det_ruling_set import (
+    deterministic_power_ruling_set as _deterministic_power_ruling_set,
+)
+from repro.ruling.greedy import greedy_mis as _greedy_mis
+from repro.ruling.verify import (
     is_mis_of_power_graph,
     is_ruling_set,
     verify_ruling_set,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def _deprecated_shim(func, api_name=None):
+    """Wrap a legacy free function in a DeprecationWarning-emitting shim.
+
+    The shim delegates verbatim (bit-identical outputs); the replacement
+    hint names the ``repro.solve`` algorithm when one exists.  Internal
+    code imports the implementation modules directly and never routes
+    through these shims -- the parity suite runs with
+    ``-W error::DeprecationWarning`` to enforce that.
+    """
+    if api_name:
+        hint = f'repro.solve(graph, "{api_name}", ...)'
+    else:
+        hint = f"{func.__module__}.{func.__name__}"
+
+    @_functools.wraps(func)
+    def shim(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{func.__name__} is deprecated; use {hint} "
+            f"(or import {func.__module__}.{func.__name__} directly)",
+            DeprecationWarning, stacklevel=2)
+        return func(*args, **kwargs)
+
+    return shim
+
+
+# Legacy solver entry points -> deprecation shims over the implementation
+# modules, each annotated with its ``repro.solve`` algorithm name.
+aglp_ruling_set = _deprecated_shim(_aglp_ruling_set, "aglp")
+beeping_mis = _deprecated_shim(_beeping_mis, "beeping")
+beeping_mis_power = _deprecated_shim(_beeping_mis_power, "beeping-power")
+det_sparsification = _deprecated_shim(_det_sparsification, "det-sparsify")
+deterministic_power_ruling_set = _deprecated_shim(
+    _deterministic_power_ruling_set, "det-power-ruling")
+form_distance_k_ball_graph = _deprecated_shim(
+    _form_distance_k_ball_graph, "ball-graph")
+greedy_mis = _deprecated_shim(_greedy_mis, "greedy-mis")
+id_based_ruling_set = _deprecated_shim(_id_based_ruling_set, "id-ruling")
+luby_mis = _deprecated_shim(_luby_mis, "luby")
+luby_mis_power = _deprecated_shim(_luby_mis_power, "luby-power")
+network_decomposition = _deprecated_shim(
+    _network_decomposition, "network-decomposition")
+power_graph_mis = _deprecated_shim(_power_graph_mis, "power-mis")
+power_graph_ruling_set = _deprecated_shim(
+    _power_graph_ruling_set, "power-ruling")
+power_graph_sparsification = _deprecated_shim(
+    _power_graph_sparsification, "sparsify")
+power_graph_sparsification_low_diameter = _deprecated_shim(
+    _power_graph_sparsification_low_diameter, "sparsify-low-diameter")
+randomized_sparsification = _deprecated_shim(
+    _randomized_sparsification, "randomized-sparsify")
+shattering_mis = _deprecated_shim(_shattering_mis, "shattering-mis")
 
 __all__ = [
     "ActiveSetEngine",
+    "Algorithm",
+    "Certificate",
     "CongestNetwork",
     "NodeAlgorithm",
+    "Problem",
+    "Provenance",
     "RoundLedger",
     "RoundObserver",
+    "RunReport",
     "Simulator",
+    "SolverRegistry",
     "SyncEngine",
     "aglp_ruling_set",
+    "api",
     "beeping_mis",
     "beeping_mis_power",
     "check_power_sparsification",
@@ -98,7 +194,9 @@ __all__ = [
     "power_graph_sparsification",
     "power_graph_sparsification_low_diameter",
     "randomized_sparsification",
+    "replay",
     "shattering_mis",
+    "solve",
     "verify_invariants",
     "verify_ruling_set",
     "__version__",

@@ -1,0 +1,150 @@
+"""The ``repro solve`` / ``repro algorithms`` commands.
+
+``repro solve <workload> <algorithm>`` builds a graph from the scenario
+registry (a cell name like ``regular-n24-d3``, or a family name resolved to
+its first registered cell), dispatches through :func:`repro.api.solve` and
+prints the certified :class:`~repro.api.RunReport`.  Exit status is
+non-zero when the certificate fails, so the command doubles as an
+end-to-end smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.api import REGISTRY
+
+__all__ = ["add_algorithms_parser", "add_solve_parser", "cmd_algorithms",
+           "cmd_solve"]
+
+
+def _parse_param(text: str) -> tuple[str, Any]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    try:
+        value: Any = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key.strip(), value
+
+
+def add_solve_parser(commands) -> argparse.ArgumentParser:
+    parser = commands.add_parser(
+        "solve", help="run one registered algorithm on a registry workload")
+    parser.add_argument("workload",
+                        help="graph cell name (e.g. regular-n24-d3) or graph "
+                             "family name (first registered cell is used)")
+    parser.add_argument("algorithm",
+                        help="registered algorithm or problem-family name")
+    parser.add_argument("--k", type=int, default=None,
+                        help="power k (when the algorithm accepts it)")
+    parser.add_argument("--engine", default=None,
+                        help="round engine for simulator-native algorithms")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="explicit solve seed (default: derived)")
+    parser.add_argument("--graph-seed", type=int, default=0,
+                        help="seed for the workload graph builder")
+    parser.add_argument("--param", action="append", default=[],
+                        type=_parse_param, metavar="KEY=VALUE",
+                        help="extra typed-config entry (repeatable)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the problem certifier")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the RunReport row as JSON")
+    return parser
+
+
+def add_algorithms_parser(commands) -> argparse.ArgumentParser:
+    parser = commands.add_parser(
+        "algorithms", help="list the registered algorithms and problems")
+    parser.add_argument("--problem", default=None,
+                        help="restrict to one problem family")
+    return parser
+
+
+def _resolve_workload(name: str, *, graph_seed: int):
+    """A registry cell (exact) or family (first cell) -> (cell_name, graph)."""
+    from repro.scenarios.registry import DEFAULT_REGISTRY
+
+    try:
+        cell = DEFAULT_REGISTRY.cell(name)
+    except KeyError:
+        cells = sorted(DEFAULT_REGISTRY.cells(family=name),
+                       key=lambda cell: cell.name)
+        if not cells:
+            known = ", ".join(sorted(c.name for c in DEFAULT_REGISTRY.cells()))
+            print(f"[repro] unknown workload {name!r}: not a graph cell or "
+                  f"family (cells: {known})", file=sys.stderr)
+            raise SystemExit(2)
+        cell = cells[0]
+    return cell.name, DEFAULT_REGISTRY.build_cell(cell, seed=graph_seed)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    cell_name, graph = _resolve_workload(args.workload,
+                                         graph_seed=args.graph_seed)
+    config = dict(args.param)
+    if args.k is not None:
+        config["k"] = args.k
+    if args.engine is not None:
+        config["engine"] = args.engine
+    # Resolve the name and validate the typed config up front so usage
+    # errors get a friendly one-liner; a failure inside the solve itself is
+    # a real defect and propagates with its traceback.
+    try:
+        spec = REGISTRY.resolve(args.algorithm)
+        spec.resolve_config(config)
+    except (KeyError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        print(f"[repro] {message}", file=sys.stderr)
+        return 2
+    report = REGISTRY.solve(graph, spec, seed=args.seed,
+                            verify=not args.no_verify, **config)
+    if args.as_json:
+        row = report.to_row()
+        row["workload"] = cell_name
+        print(json.dumps(row, sort_keys=True, default=str))
+    else:
+        print(f"[repro] workload {cell_name} "
+              f"(n={report.provenance.n}, m={report.provenance.m})")
+        print(f"[repro] {report.summary()}")
+        if report.certificate is not None:
+            for check in report.certificate.checks:
+                marker = "ok " if check.ok else "FAIL"
+                detail = f" -- {check.detail}" if check.detail else ""
+                print(f"[repro]   [{marker}] {check.name}{detail}")
+    return 0 if report.ok else 1
+
+
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+
+    rows = [{
+        "algorithm": spec.name,
+        "problem": spec.problem,
+        "config": ", ".join(f"{key}={value!r}" for key, value in spec.defaults)
+                  or "-",
+        "native": spec.simulator_native,
+        "description": spec.description,
+    } for spec in sorted(REGISTRY.algorithms(problem=args.problem),
+                         key=lambda spec: (spec.problem, spec.name))]
+    print(format_table(rows, title=f"[repro] {len(rows)} registered algorithms"))
+    print(f"[repro] problem families: {', '.join(REGISTRY.problem_names())}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Typed solver API command line.")
+    commands = parser.add_subparsers(dest="command", required=True)
+    add_solve_parser(commands)
+    add_algorithms_parser(commands)
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return cmd_solve(args)
+    return cmd_algorithms(args)

@@ -1,0 +1,139 @@
+"""The uniform solve result: :class:`RunReport` with :class:`Provenance`.
+
+A :class:`RunReport` unifies the per-module result dataclasses
+(``LubyResult``, ``PowerMISResult``, ``DetRulingSetResult``, ...) behind one
+shape: the solution node set, the charged/simulated round count, JSON-ready
+``metrics``, live ``payload`` objects consumed by the certifier, the
+provenance block identifying the run, and (when verification is on) the
+attached :class:`~repro.api.certify.Certificate`.
+
+Reproducibility contract: the provenance block alone identifies the run.
+``provenance.seed`` is the concrete integer that drove every random choice
+(derived with :func:`repro.hashing.seeds.derive_seed` when the caller did
+not pass one), so ``solve(graph, provenance.algorithm, seed=provenance.seed,
+**provenance.config_dict)`` reproduces the report bit-for-bit on any graph
+with the same fingerprint -- :func:`repro.api.replay` does exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+import networkx as nx
+
+from repro.api.certify import Certificate
+
+Node = Hashable
+
+__all__ = ["Provenance", "RunReport", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph: nx.Graph) -> str:
+    """A stable hex fingerprint of the graph's labelled structure.
+
+    Hashes the sorted node and edge lists (by string representation), so the
+    value is independent of insertion order, process and Python invocation --
+    the graph-identity half of the reproducibility contract.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.number_of_nodes()};m={graph.number_of_edges()};".encode())
+    for node in sorted(graph.nodes(), key=str):
+        digest.update(f"v:{node!r};".encode())
+    for u, v in sorted((sorted((u, v), key=str) for u, v in graph.edges()),
+                       key=lambda edge: (str(edge[0]), str(edge[1]))):
+        digest.update(f"e:{u!r}|{v!r};".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Who computed what, on which graph, with which randomness."""
+
+    algorithm: str
+    problem: str
+    config: tuple[tuple[str, Any], ...]
+    seed: int
+    seed_policy: str  # "explicit" (caller-supplied) or "derived" (derive_seed)
+    graph_fingerprint: str
+    n: int
+    m: int
+    library_version: str = ""
+
+    @property
+    def config_dict(self) -> dict[str, Any]:
+        return dict(self.config)
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "problem": self.problem,
+            "config": self.config_dict,
+            "seed": self.seed,
+            "seed_policy": self.seed_policy,
+            "graph_fingerprint": self.graph_fingerprint,
+            "n": self.n,
+            "m": self.m,
+            "library_version": self.library_version,
+        }
+
+
+@dataclass
+class RunReport:
+    """The uniform result of one :func:`repro.solve` call."""
+
+    output: set[Node]
+    rounds: int
+    provenance: Provenance
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Live Python objects consumed by the certifier and downstream callers
+    #: (sparsification sequences, ID assignments, verification bounds, the
+    #: native result object under ``"result"``); never serialised.
+    payload: dict[str, Any] = field(default_factory=dict)
+    certificate: Certificate | None = None
+
+    @property
+    def algorithm(self) -> str:
+        return self.provenance.algorithm
+
+    @property
+    def problem(self) -> str:
+        return self.provenance.problem
+
+    @property
+    def verified(self) -> bool:
+        """True iff a certificate was produced and every check passed."""
+        return self.certificate is not None and self.certificate.ok
+
+    @property
+    def ok(self) -> bool:
+        """Certificate verdict; an unverified report is not counted as failed."""
+        return self.certificate.ok if self.certificate is not None else True
+
+    @property
+    def result(self) -> Any:
+        """The algorithm's native result object (``None`` for plain-set outputs)."""
+        return self.payload.get("result")
+
+    def to_row(self) -> dict[str, Any]:
+        """A JSON-serialisable row (for stores, tables and benchmark sweeps)."""
+        row: dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "problem": self.problem,
+            "rounds": self.rounds,
+            "output_size": len(self.output),
+            "metrics": dict(self.metrics),
+            "provenance": self.provenance.to_row(),
+        }
+        if self.certificate is not None:
+            row["certificate"] = self.certificate.to_row()
+        return row
+
+    def summary(self) -> str:
+        verdict = ("unverified" if self.certificate is None
+                   else self.certificate.summary())
+        return (f"{self.algorithm} [{self.problem}] on "
+                f"n={self.provenance.n} m={self.provenance.m} "
+                f"(seed={self.provenance.seed}, {self.provenance.seed_policy}): "
+                f"|output|={len(self.output)}, rounds={self.rounds}, {verdict}")

@@ -1,0 +1,59 @@
+"""The ``repro`` console entry point (also ``python -m repro``).
+
+One command wraps the library's two operational surfaces:
+
+``repro solve <workload> <algorithm>``
+    Dispatch one certified solve through :mod:`repro.api` (see
+    :mod:`repro.api.cli`).
+``repro algorithms``
+    List the registered algorithms and problem families.
+``repro scenarios <list|families|run> ...``
+    The scenario sweep CLI of :mod:`repro.scenarios.cli` (e.g.
+    ``repro scenarios run --smoke``).
+``repro --version``
+    Print the library version.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+__all__ = ["main"]
+
+_USAGE = """usage: repro <command> ...
+
+commands:
+  solve <workload> <algorithm>   run one certified solve (repro solve --help)
+  algorithms                     list registered algorithms and problems
+  scenarios <list|families|run>  scenario sweeps (repro scenarios run --smoke)
+  --version                      print the library version
+"""
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "--version":
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        return 0
+    if command == "scenarios":
+        from repro.scenarios.cli import main as scenarios_main
+
+        return scenarios_main(rest)
+    if command in ("solve", "algorithms"):
+        from repro.api.cli import main as api_main
+
+        return api_main(argv)
+    print(f"repro: unknown command {command!r}\n\n{_USAGE}",
+          end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

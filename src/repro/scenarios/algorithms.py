@@ -1,43 +1,46 @@
-"""Runnable algorithm adapters for the scenario registry.
+"""Scenario-runner views over the :mod:`repro.api` solver registry.
 
-Every algorithm the registry can schedule is wrapped in an
-:class:`AlgorithmSpec` whose ``run`` callable has the uniform signature
-``run(graph, scenario, seed) -> ScenarioOutcome``.  The outcome separates
+Historically this module carried its own adapter per algorithm; it is now a
+thin projection: every :class:`~repro.api.Algorithm` registered in
+:data:`repro.api.REGISTRY` is exposed as an :class:`AlgorithmSpec` whose
+``run`` callable dispatches through :func:`repro.api.solve` and converts the
+:class:`~repro.api.RunReport` into a :class:`ScenarioOutcome`.  Registering
+an algorithm once in ``repro.api`` therefore makes it runnable by the
+scenario batch runner with no extra code.
+
+The view maps a :class:`~repro.scenarios.registry.Scenario` onto the
+algorithm's typed config: ``scenario.k`` and ``scenario.engine`` are
+forwarded when the algorithm accepts them, and scenario params (``beta``,
+...) are filtered to the accepted keys.  The solve is invoked with the
+scenario's derived task seed and ``verify=False`` -- verification stays
+with the oracle layer (:mod:`repro.scenarios.oracles`), which routes
+through the same problem certifiers, so nothing is checked twice.
+
+``ScenarioOutcome`` separates
 
 * ``output`` -- the primary node set the algorithm computed;
 * ``metrics`` -- JSON-serialisable diagnostics persisted to the result store;
-* ``payload`` -- live Python objects (ID assignments, sparsification
-  sequences, verification bounds) consumed by the oracle layer in-process
-  and never serialised.
-
-The adapters derive all randomness from the single integer ``seed`` (both
-the CONGEST ID assignment and the algorithm RNG), so a scenario cell is a
-pure function of ``(scenario, seed)`` -- the property the resume cache and
-the failing-seed reports rely on.
+* ``payload`` -- live Python objects (the ``RunReport`` payload: ID
+  assignments, sparsification sequences, verification bounds) consumed by
+  the oracle layer in-process and never serialised.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 import networkx as nx
 
-from repro.congest.network import CongestNetwork
-from repro.core.power_sparsify import power_graph_sparsification
-from repro.mis.luby import luby_mis_power, simulate_luby_mis
-from repro.mis.power_mis import power_graph_mis
-from repro.mis.power_ruling import power_graph_ruling_set
-from repro.ruling.det_ruling_set import deterministic_power_ruling_set
-from repro.ruling.distributed import simulate_det_ruling_set
+from repro.api import REGISTRY as SOLVER_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.scenarios.registry import Scenario
 
 Node = Hashable
 
-__all__ = ["AlgorithmSpec", "BUILTIN_ALGORITHMS", "ScenarioOutcome"]
+__all__ = ["AlgorithmSpec", "BUILTIN_ALGORITHMS", "ScenarioOutcome",
+           "scenario_config"]
 
 
 @dataclass
@@ -60,102 +63,38 @@ class AlgorithmSpec:
     simulator_native: bool = False
 
 
-def _run_det_ruling_sim(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    network = CongestNetwork(graph, id_seed=seed)
-    ruling_set, result = simulate_det_ruling_set(network, engine=scenario.engine or "sync")
-    return ScenarioOutcome(
-        output=ruling_set,
-        rounds=result.rounds,
-        metrics={"messages": result.total_messages, "bits": result.total_bits,
-                 "engine": result.engine, "halted": result.halted},
-        payload={"node_ids": dict(network.ids)},
-    )
+def scenario_config(scenario: "Scenario", *, algorithm: str | None = None,
+                    ) -> dict[str, Any]:
+    """The solver config a scenario maps onto (filtered to accepted keys)."""
+    spec = SOLVER_REGISTRY.algorithm(algorithm or scenario.algorithm)
+    allowed = spec.config_keys
+    config: dict[str, Any] = {}
+    if "k" in allowed:
+        config["k"] = scenario.k
+    if "engine" in allowed:
+        config["engine"] = scenario.engine or "sync"
+    for key, value in scenario.params:
+        if key in allowed:
+            config[key] = value
+    return config
 
 
-def _run_luby_sim(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    network = CongestNetwork(graph, id_seed=seed)
-    mis, result = simulate_luby_mis(network, seed=seed, engine=scenario.engine or "sync")
-    return ScenarioOutcome(
-        output=mis,
-        rounds=result.rounds,
-        metrics={"messages": result.total_messages, "bits": result.total_bits,
-                 "engine": result.engine, "halted": result.halted},
-    )
+def _view(name: str) -> Callable[[nx.Graph, "Scenario", int], ScenarioOutcome]:
+    def run(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
+        config = scenario_config(scenario, algorithm=name)
+        report = SOLVER_REGISTRY.solve(graph, name, seed=seed, verify=False,
+                                       **config)
+        return ScenarioOutcome(output=report.output, rounds=report.rounds,
+                               metrics=dict(report.metrics),
+                               payload=dict(report.payload))
+
+    run.__name__ = f"run_{name.replace('-', '_')}"
+    return run
 
 
-def _run_luby_power(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    result = luby_mis_power(graph, scenario.k, rng=random.Random(seed))
-    return ScenarioOutcome(
-        output=result.mis,
-        rounds=result.rounds,
-        metrics={"steps": getattr(result, "steps", None)},
-    )
-
-
-def _run_power_mis(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    result = power_graph_mis(graph, scenario.k, rng=random.Random(seed))
-    return ScenarioOutcome(
-        output=result.mis,
-        rounds=result.rounds,
-        metrics={"ruling_set_size": result.ruling_set_size,
-                 "undecided_after_pre": len(result.undecided_after_pre),
-                 "component_sizes": sorted(result.component_sizes, reverse=True)[:8],
-                 "phase_rounds": dict(result.phase_rounds)},
-    )
-
-
-def _run_power_ruling(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    beta = int(scenario.param("beta", 2))
-    result = power_graph_ruling_set(graph, scenario.k, beta, rng=random.Random(seed))
-    return ScenarioOutcome(
-        output=result.ruling_set,
-        rounds=result.rounds,
-        metrics={"beta": beta, "chain_sizes": list(result.chain_sizes),
-                 "phase_rounds": dict(result.phase_rounds)},
-        payload={"alpha": result.alpha, "beta_bound": result.domination_bound},
-    )
-
-
-def _run_det_power_ruling(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    result = deterministic_power_ruling_set(graph, scenario.k, rng=random.Random(seed))
-    return ScenarioOutcome(
-        output=result.ruling_set,
-        rounds=result.rounds,
-        metrics={"q_size": len(result.q), "phase_rounds": dict(result.phase_rounds)},
-        payload={"alpha": result.alpha, "beta_bound": result.beta_bound},
-    )
-
-
-def _run_sparsify(graph: nx.Graph, scenario: "Scenario", seed: int) -> ScenarioOutcome:
-    result = power_graph_sparsification(graph, scenario.k, rng=random.Random(seed))
-    return ScenarioOutcome(
-        output=result.q,
-        rounds=result.rounds,
-        metrics={"chain_sizes": [len(q) for q in result.sequence]},
-        payload={"sequence": [set(q) for q in result.sequence]},
-    )
-
-
-BUILTIN_ALGORITHMS: tuple[AlgorithmSpec, ...] = (
-    AlgorithmSpec(
-        name="det-ruling-sim", run=_run_det_ruling_sim, simulator_native=True,
-        description="Deterministic greedy MIS by ID minima on the message-passing runtime"),
-    AlgorithmSpec(
-        name="luby-sim", run=_run_luby_sim, simulator_native=True,
-        description="Luby's MIS of G on the message-passing runtime"),
-    AlgorithmSpec(
-        name="luby-power", run=_run_luby_power,
-        description="Luby's algorithm on G^k (Section 8.1 baseline, O(k log n))"),
-    AlgorithmSpec(
-        name="power-mis", run=_run_power_mis,
-        description="Theorem 1.2: randomized MIS of G^k via shattering"),
-    AlgorithmSpec(
-        name="power-ruling", run=_run_power_ruling,
-        description="Corollary 1.3: (k+1, beta*k)-ruling set of G^k"),
-    AlgorithmSpec(
-        name="det-power-ruling", run=_run_det_power_ruling,
-        description="Theorem 1.1: deterministic (k+1, k^2)-ruling set"),
-    AlgorithmSpec(
-        name="sparsify", run=_run_sparsify,
-        description="Lemma 3.1 / Algorithm 3: power-graph sparsification"),
-)
+#: One scenario-runnable view per algorithm registered in ``repro.api``.
+BUILTIN_ALGORITHMS: tuple[AlgorithmSpec, ...] = tuple(
+    AlgorithmSpec(name=spec.name, run=_view(spec.name),
+                  description=spec.description,
+                  simulator_native=spec.simulator_native)
+    for spec in sorted(SOLVER_REGISTRY.algorithms(), key=lambda spec: spec.name))

@@ -1,9 +1,12 @@
 """Verification oracles applied to every scenario-runner result.
 
-The oracles promote the checkers of :mod:`repro.ruling.verify` and
-:mod:`repro.core.invariants` into reusable, named checks that the batch
-runner applies to *every* execution before a row enters the result store,
-and that the property-based differential tests reuse directly:
+The oracle layer is now a projection of the solver API's certification
+layer: the named checks live in :mod:`repro.api.certify` (shared with
+``repro.solve(..., verify=True)``) and :func:`verify_outcome` dispatches
+through the :data:`repro.api.REGISTRY` problem certifiers, so an algorithm
+registered once is both runnable *and* verifiable by the batch runner.
+
+The legacy oracle names are kept as thin delegations for callers and tests:
 
 * :func:`mis_power_oracle` -- independence and maximality of an MIS of
   ``G^k`` (equivalently, a ``(k+1, k)``-ruling set of ``G``);
@@ -15,9 +18,9 @@ and that the property-based differential tests reuse directly:
   simulator-native deterministic run must equal the centralized greedy
   reference computed from the same ID assignment.
 
-:func:`verify_outcome` dispatches on the scenario's algorithm and returns an
-:class:`OracleReport` whose failure messages embed the scenario name and
-seed, so a red cell in a batch is immediately reproducible.
+:func:`verify_outcome` returns an :class:`OracleReport` whose failure
+messages embed the scenario name and seed, so a red cell in a batch is
+immediately reproducible.
 """
 
 from __future__ import annotations
@@ -27,10 +30,15 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 import networkx as nx
 
-from repro.core.invariants import check_power_sparsification, verify_invariants
-from repro.ruling.greedy import lexicographic_mis
-from repro.ruling.verify import verify_ruling_set
-from repro.scenarios.algorithms import ScenarioOutcome
+from repro.api import REGISTRY as SOLVER_REGISTRY
+from repro.api.certify import (
+    Check as OracleCheck,
+    greedy_reference_checks,
+    mis_power_checks,
+    ruling_set_checks,
+    sparsification_checks,
+)
+from repro.scenarios.algorithms import ScenarioOutcome, scenario_config
 from repro.scenarios.registry import Scenario
 
 Node = Hashable
@@ -44,15 +52,6 @@ __all__ = [
     "sparsification_oracle",
     "verify_outcome",
 ]
-
-
-@dataclass(frozen=True)
-class OracleCheck:
-    """One named pass/fail verification with a human-readable detail."""
-
-    name: str
-    ok: bool
-    detail: str = ""
 
 
 @dataclass
@@ -83,110 +82,43 @@ def ruling_set_oracle(graph: nx.Graph, subset: Iterable[Node], *,
                       alpha: int, beta: int,
                       targets: Iterable[Node] | None = None) -> list[OracleCheck]:
     """``(alpha, beta)``-ruling-set distances measured in ``G``."""
-    report = verify_ruling_set(graph, set(subset), alpha, beta, targets=targets)
-    return [
-        OracleCheck("independence", report.independent_ok,
-                    f"independence radius {report.independence} < alpha {alpha}"
-                    if not report.independent_ok else ""),
-        OracleCheck("domination", report.dominating_ok,
-                    f"domination radius {report.domination} > beta {beta}"
-                    if not report.dominating_ok else ""),
-        OracleCheck("non-trivial", report.size > 0 or graph.number_of_nodes() == 0,
-                    "empty output on a non-empty graph" if report.size == 0
-                    and graph.number_of_nodes() else ""),
-    ]
+    return ruling_set_checks(graph, subset, alpha=alpha, beta=beta,
+                             targets=targets)
 
 
 def mis_power_oracle(graph: nx.Graph, subset: Iterable[Node], k: int, *,
                      targets: Iterable[Node] | None = None) -> list[OracleCheck]:
-    """Independence + maximality of an MIS of ``G^k`` (a (k+1, k)-ruling set).
-
-    For an independent set of ``G^k``, domination within ``k`` hops of every
-    target is exactly maximality, so the two ruling-set distances certify
-    the full MIS property -- including one member per connected component on
-    disconnected workloads (an unreachable component shows up as an infinite
-    domination radius).
-    """
-    return ruling_set_oracle(graph, subset, alpha=k + 1, beta=k, targets=targets)
+    """Independence + maximality of an MIS of ``G^k`` (a (k+1, k)-ruling set)."""
+    return mis_power_checks(graph, subset, k, targets=targets)
 
 
 def sparsification_oracle(graph: nx.Graph,
                           sequence: Sequence[set[Node]]) -> list[OracleCheck]:
     """Invariants I1.1 / I1.2 / I2 plus Lemma 3.1 for a chain Q_0 ⊇ ... ⊇ Q_k."""
-    checks: list[OracleCheck] = []
-    reports = verify_invariants(graph, sequence)
-    for report in reports:
-        checks.append(OracleCheck(
-            f"I1.1[s={report.s}]", report.i11_max_degree <= report.i11_bound,
-            f"d_s(v, Q_s) = {report.i11_max_degree} > {report.i11_bound:.1f}"
-            if report.i11_max_degree > report.i11_bound else ""))
-        checks.append(OracleCheck(
-            f"I1.2[s={report.s}]", report.i12_max_degree <= report.i12_bound,
-            f"d_(s+1)(v, Q_s) = {report.i12_max_degree} > {report.i12_bound:.1f}"
-            if report.i12_max_degree > report.i12_bound else ""))
-        checks.append(OracleCheck(
-            f"I2[s={report.s}]", report.i2_max_excess <= report.i2_bound,
-            f"domination excess {report.i2_max_excess} > {report.i2_bound}"
-            if report.i2_max_excess > report.i2_bound else ""))
-        checks.append(OracleCheck(
-            f"nested[s={report.s}]", report.nested,
-            "Q_s is not a subset of Q_(s-1)" if not report.nested else ""))
-    if len(sequence) >= 2:
-        k = len(sequence) - 1
-        lemma = check_power_sparsification(graph, set(sequence[0]),
-                                           set(sequence[-1]), k)
-        checks.append(OracleCheck(
-            "lemma3.1-degree", lemma.degree_ok,
-            f"d_k(v, Q) = {lemma.max_q_degree} > {lemma.q_degree_bound:.1f}"
-            if not lemma.degree_ok else ""))
-        checks.append(OracleCheck(
-            "lemma3.1-domination", lemma.domination_ok,
-            f"domination excess {lemma.max_domination} > {lemma.domination_bound:.1f}"
-            if not lemma.domination_ok else ""))
-    return checks
+    return sparsification_checks(graph, sequence)
 
 
 def greedy_reference_oracle(graph: nx.Graph, subset: Iterable[Node],
                             node_ids: Mapping[Node, int]) -> list[OracleCheck]:
-    """Differential check: iterated-ID-minima MIS == centralized greedy MIS.
-
-    The distributed protocol in which every round all local ID minima join
-    simultaneously computes exactly the lexicographically-first MIS in
-    increasing-ID order, so the simulator output must *equal* the
-    centralized reference -- not merely satisfy the same predicate.
-    """
-    subset = set(subset)
-    reference = lexicographic_mis(graph, key=lambda node: node_ids[node])
-    missing = reference - subset
-    extra = subset - reference
-    return [OracleCheck(
-        "greedy-reference", subset == reference,
-        f"differs from centralized greedy MIS (missing={sorted(map(str, missing))[:5]}, "
-        f"extra={sorted(map(str, extra))[:5]})" if subset != reference else "")]
+    """Differential check: iterated-ID-minima MIS == centralized greedy MIS."""
+    return greedy_reference_checks(graph, subset, node_ids)
 
 
 def verify_outcome(graph: nx.Graph, scenario: Scenario, outcome: ScenarioOutcome,
                    *, seed: int) -> OracleReport:
-    """Apply the oracles appropriate for the scenario's algorithm."""
-    algorithm = scenario.algorithm
-    checks: list[OracleCheck]
-    if algorithm == "det-ruling-sim":
-        checks = mis_power_oracle(graph, outcome.output, 1)
-        node_ids = outcome.payload.get("node_ids")
-        if node_ids is not None:
-            checks += greedy_reference_oracle(graph, outcome.output, node_ids)
-    elif algorithm == "luby-sim":
-        checks = mis_power_oracle(graph, outcome.output, 1)
-    elif algorithm in ("luby-power", "power-mis"):
-        checks = mis_power_oracle(graph, outcome.output, scenario.k)
-    elif algorithm in ("power-ruling", "det-power-ruling"):
-        alpha = int(outcome.payload.get("alpha", scenario.k + 1))
-        beta_bound = int(outcome.payload["beta_bound"])
-        checks = ruling_set_oracle(graph, outcome.output, alpha=alpha,
-                                   beta=beta_bound)
-    elif algorithm == "sparsify":
-        checks = sparsification_oracle(graph, outcome.payload["sequence"])
-    else:
-        checks = [OracleCheck("known-algorithm", False,
-                              f"no oracle registered for algorithm {algorithm!r}")]
-    return OracleReport(scenario=scenario.name, seed=seed, checks=checks)
+    """Certify the outcome with the solver registry's problem certifier."""
+    try:
+        spec = SOLVER_REGISTRY.algorithm(scenario.algorithm)
+    except KeyError:
+        checks = [OracleCheck(
+            "known-algorithm", False,
+            f"no oracle registered for algorithm {scenario.algorithm!r}")]
+        return OracleReport(scenario=scenario.name, seed=seed, checks=checks)
+    # Certify against the same filtered config the scenario view solved
+    # with (e.g. a simulator-native algorithm never sees `k`, so it must be
+    # verified as an MIS of G regardless of the scenario's k field).
+    config = scenario_config(scenario)
+    certificate = SOLVER_REGISTRY.problem(spec.problem).certify(
+        graph, outcome.output, config=config, payload=outcome.payload)
+    return OracleReport(scenario=scenario.name, seed=seed,
+                        checks=list(certificate.checks))

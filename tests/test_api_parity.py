@@ -1,0 +1,186 @@
+"""Parity suite: every legacy free function == its ``repro.solve`` counterpart.
+
+For the same explicit seed, dispatching through the solver registry must be
+bit-identical to calling the legacy free function with
+``rng=random.Random(seed)`` (graph-level algorithms) or
+``CongestNetwork(graph, id_seed=seed)`` (simulator-native drivers) -- same
+output set, same charged/simulated rounds.
+
+The whole module runs with ``DeprecationWarning`` promoted to an error: the
+legacy side calls the *implementation* modules directly, so any
+deprecation warning here means internal code (the api adapters, the
+scenario views, the oracle layer) still routes through a ``repro.<name>``
+shim -- exactly the regression this suite exists to catch.  The shims
+themselves are exercised separately under ``pytest.warns``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.api import REGISTRY, solve
+from repro.congest.network import CongestNetwork
+from repro.core.detsparsify import det_sparsification
+from repro.core.power_sparsify import (
+    power_graph_sparsification,
+    power_graph_sparsification_low_diameter,
+)
+from repro.core.sampling import randomized_sparsification
+from repro.decomposition.ball_graph import form_distance_k_ball_graph
+from repro.decomposition.network_decomposition import network_decomposition
+from repro.graphs.power import bounded_bfs
+from repro.mis.beeping import beeping_mis, beeping_mis_power, simulate_beeping_mis
+from repro.mis.kp12 import kp12_sparsify_power
+from repro.mis.luby import luby_mis, luby_mis_power, simulate_luby_mis
+from repro.mis.power_mis import power_graph_mis
+from repro.mis.power_ruling import power_graph_ruling_set
+from repro.mis.shattering import shattering_mis
+from repro.ruling.aglp import aglp_ruling_set, id_based_ruling_set
+from repro.ruling.det_ruling_set import deterministic_power_ruling_set
+from repro.ruling.distributed import simulate_det_ruling_set
+from repro.ruling.greedy import greedy_mis, greedy_ruling_set
+from repro.scenarios.registry import DEFAULT_REGISTRY
+
+#: Internal code must never route through the deprecation shims.
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+K = 2
+CELLS = ("regular-n24-d3", "er-n20")
+SEEDS = (0, 7)
+
+
+def _ids(graph):
+    return {node: index + 1
+            for index, node in enumerate(sorted(graph.nodes(), key=str))}
+
+
+# Each case: (api algorithm, solve config, legacy(graph, seed) -> (output, rounds)).
+PARITY_CASES = [
+    ("luby", {}, lambda g, s: (lambda r: (r.mis, r.rounds))(
+        luby_mis(g, rng=random.Random(s)))),
+    ("luby-power", {"k": K}, lambda g, s: (lambda r: (r.mis, r.rounds))(
+        luby_mis_power(g, K, rng=random.Random(s)))),
+    ("beeping", {}, lambda g, s: (lambda r: (r.mis, r.rounds))(
+        beeping_mis(g, rng=random.Random(s)))),
+    ("beeping-power", {"k": K}, lambda g, s: (lambda r: (r.mis, r.rounds))(
+        beeping_mis_power(g, K, rng=random.Random(s)))),
+    ("shattering-mis", {}, lambda g, s: (lambda r: (r.mis, r.rounds))(
+        shattering_mis(g, rng=random.Random(s)))),
+    ("power-mis", {"k": K}, lambda g, s: (lambda r: (r.mis, r.rounds))(
+        power_graph_mis(g, K, rng=random.Random(s)))),
+    ("greedy-mis", {"k": K}, lambda g, s: (greedy_mis(g, K), 0)),
+    ("power-ruling", {"k": K, "beta": 2},
+     lambda g, s: (lambda r: (r.ruling_set, r.rounds))(
+        power_graph_ruling_set(g, K, 2, rng=random.Random(s)))),
+    ("det-power-ruling", {"k": K},
+     lambda g, s: (lambda r: (r.ruling_set, r.rounds))(
+        deterministic_power_ruling_set(g, K, rng=random.Random(s)))),
+    ("aglp", {"k": K, "base": 2},
+     lambda g, s: (lambda r: (r.ruling_set, r.rounds))(
+        aglp_ruling_set(g, K, _ids(g), base=2))),
+    ("id-ruling", {"k": K, "c": 2},
+     lambda g, s: (lambda r: (r.ruling_set, r.rounds))(
+        id_based_ruling_set(g, K, c=2))),
+    ("greedy-ruling", {"alpha": 3}, lambda g, s: (greedy_ruling_set(g, 3), 0)),
+    ("sparsify", {"k": K}, lambda g, s: (lambda r: (r.q, r.rounds))(
+        power_graph_sparsification(g, K, rng=random.Random(s)))),
+    ("sparsify-low-diameter", {"k": K}, lambda g, s: (lambda r: (r.q, r.rounds))(
+        power_graph_sparsification_low_diameter(g, K, rng=random.Random(s)))),
+    ("det-sparsify", {}, lambda g, s: (lambda r: (r.q, r.rounds))(
+        det_sparsification(g, rng=random.Random(s)))),
+    ("randomized-sparsify", {}, lambda g, s: (lambda r: (r.q, r.rounds))(
+        randomized_sparsification(g, rng=random.Random(s)))),
+    ("kp12-sparsify", {"k": K, "f": 4.0}, lambda g, s: (lambda r: (r.q, r.rounds))(
+        kp12_sparsify_power(g, K, 4.0, rng=random.Random(s)))),
+    ("det-ruling-sim", {"engine": "sync"}, lambda g, s: (lambda out: (out[0], out[1].rounds))(
+        simulate_det_ruling_set(CongestNetwork(g, id_seed=s), engine="sync"))),
+    ("luby-sim", {"engine": "sync"}, lambda g, s: (lambda out: (out[0], out[1].rounds))(
+        simulate_luby_mis(CongestNetwork(g, id_seed=s), seed=s, engine="sync"))),
+    ("beeping-sim", {"engine": "sync"}, lambda g, s: (lambda out: (out[0], out[1].rounds))(
+        simulate_beeping_mis(CongestNetwork(g, id_seed=s), seed=s, engine="sync"))),
+]
+
+
+@pytest.mark.parametrize("cell", CELLS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "algorithm,config,legacy", PARITY_CASES,
+    ids=[case[0] for case in PARITY_CASES])
+def test_api_output_and_rounds_match_legacy(cell, seed, algorithm, config, legacy):
+    graph = DEFAULT_REGISTRY.build_cell(cell, seed=5)
+    report = solve(graph, algorithm, seed=seed, **config)
+    expected_output, expected_rounds = legacy(graph, seed)
+    assert report.output == expected_output, \
+        f"{algorithm} on {cell} seed={seed}: outputs differ"
+    assert report.rounds == expected_rounds, \
+        f"{algorithm} on {cell} seed={seed}: rounds differ"
+    assert report.provenance.seed == seed
+    assert report.provenance.seed_policy == "explicit"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sparsify_sequence_parity(seed):
+    graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=5)
+    report = solve(graph, "sparsify", k=K, seed=seed)
+    legacy = power_graph_sparsification(graph, K, rng=random.Random(seed))
+    assert report.payload["sequence"] == [set(q) for q in legacy.sequence]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_network_decomposition_parity(seed):
+    graph = DEFAULT_REGISTRY.build_cell("er-n20", seed=5)
+    report = solve(graph, "network-decomposition", seed=seed)
+    legacy = network_decomposition(graph, separation=2, rng=random.Random(seed))
+    assert report.output == {cluster.center for cluster in legacy.clusters}
+    mine = report.payload["decomposition"]
+    assert {frozenset(c.nodes) for c in mine.clusters} == \
+        {frozenset(c.nodes) for c in legacy.clusters}
+    assert mine.num_colors == legacy.num_colors
+
+
+def test_ball_graph_parity():
+    """The adapter composes exactly the legacy greedy-ruling + Lemma 8.3 path."""
+    graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=5)
+    report = solve(graph, "ball-graph", k=K, seed=0)
+    rulers = greedy_ruling_set(graph, alpha=2 * K + 1, key=str)
+    balls = {ruler: {ruler} for ruler in rulers}
+    for node in graph.nodes():
+        if node in rulers:
+            continue
+        distances = bounded_bfs(graph, node, 2 * K)
+        closest = min((distances[r], str(r), r) for r in rulers if r in distances)
+        balls[closest[2]].add(node)
+    legacy = form_distance_k_ball_graph(graph, balls, k=K, node_ids=_ids(graph))
+    assert report.output == legacy.centers
+    mine = report.payload["ball_graph"]
+    assert mine.balls == legacy.balls
+    assert set(mine.graph.edges()) == set(legacy.graph.edges())
+
+
+@pytest.mark.parametrize("shim_name,api_name,args,kwargs", [
+    ("power_graph_mis", "power-mis", (K,), {}),
+    ("deterministic_power_ruling_set", "det-power-ruling", (K,), {}),
+    ("power_graph_sparsification", "sparsify", (K,), {}),
+    ("luby_mis_power", "luby-power", (K,), {}),
+])
+def test_shims_warn_and_delegate_bit_identically(shim_name, api_name, args, kwargs):
+    """repro.<legacy> warns DeprecationWarning and matches the solve output."""
+    graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=5)
+    with pytest.warns(DeprecationWarning, match=shim_name):
+        legacy = getattr(repro, shim_name)(graph, *args,
+                                           rng=random.Random(3), **kwargs)
+    report = solve(graph, api_name, seed=3, k=K)
+    output = getattr(legacy, "mis", None) or getattr(legacy, "ruling_set", None) \
+        or getattr(legacy, "q", None)
+    assert report.output == output
+    assert report.rounds == legacy.rounds
+
+
+def test_every_registered_algorithm_has_a_parity_case():
+    """New registrations must be added to the parity table (or composed tests)."""
+    covered = {case[0] for case in PARITY_CASES}
+    covered |= {"network-decomposition", "ball-graph"}  # composed tests above
+    assert covered == set(REGISTRY.algorithm_names())

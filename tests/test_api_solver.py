@@ -1,0 +1,211 @@
+"""Behavior of the typed solver API: solve, certify, provenance, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.api import REGISTRY, RunReport, graph_fingerprint, replay, solve
+from repro.cli import main as cli_main
+from repro.scenarios.algorithms import BUILTIN_ALGORITHMS
+from repro.scenarios.oracles import verify_outcome
+from repro.scenarios.registry import DEFAULT_REGISTRY
+
+K = 2
+
+
+@pytest.fixture(scope="module")
+def workload() -> nx.Graph:
+    return DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=5)
+
+
+class TestSolve:
+    def test_every_algorithm_solves_and_certifies(self, workload):
+        for name in REGISTRY.algorithm_names():
+            spec = REGISTRY.algorithm(name)
+            config = {"k": K} if "k" in spec.config_keys else {}
+            report = solve(workload, name, seed=3, **config)
+            assert isinstance(report, RunReport)
+            assert report.verified, f"{name}: {report.certificate.summary()}"
+            assert report.provenance.algorithm == name
+            assert report.provenance.problem == spec.problem
+
+    def test_verify_false_skips_certificate(self, workload):
+        report = solve(workload, "power-mis", k=K, seed=3, verify=False)
+        assert report.certificate is None
+        assert not report.verified
+        assert report.ok  # unverified is not failed
+
+    def test_unknown_algorithm_raises(self, workload):
+        with pytest.raises(KeyError, match="neither a registered algorithm"):
+            solve(workload, "no-such-algorithm")
+
+    def test_unknown_config_key_raises(self, workload):
+        with pytest.raises(TypeError, match="unknown config"):
+            solve(workload, "power-mis", k=K, bogus=1)
+
+    def test_problem_name_dispatches_to_default_algorithm(self, workload):
+        assert solve(workload, "mis-power", k=K, seed=3).algorithm == "power-mis"
+        assert solve(workload, "ruling-set", k=K,
+                     seed=3).algorithm == "det-power-ruling"
+        assert solve(workload, "sparsify-power", k=K,
+                     seed=3).algorithm == "sparsify"
+
+    def test_top_level_exports_are_the_default_registry(self, workload):
+        assert repro.solve.__self__ is REGISTRY
+        assert repro.replay.__self__ is REGISTRY
+
+
+class TestSeedPolicy:
+    def test_derived_seed_is_deterministic(self, workload):
+        first = solve(workload, "power-mis", k=K)
+        second = solve(workload, "power-mis", k=K)
+        assert first.provenance.seed_policy == "derived"
+        assert first.provenance.seed == second.provenance.seed
+        assert first.output == second.output
+        assert first.rounds == second.rounds
+
+    def test_derived_seed_depends_on_config_and_graph(self, workload):
+        other_config = solve(workload, "power-mis", k=3)
+        other_graph = solve(nx.path_graph(24), "power-mis", k=K)
+        base = solve(workload, "power-mis", k=K)
+        assert base.provenance.seed != other_config.provenance.seed
+        assert base.provenance.seed != other_graph.provenance.seed
+
+    def test_explicit_seed_recorded(self, workload):
+        report = solve(workload, "luby", seed=42)
+        assert report.provenance.seed == 42
+        assert report.provenance.seed_policy == "explicit"
+
+    def test_replay_is_bit_identical(self, workload):
+        for name in ("power-mis", "det-ruling-sim", "sparsify"):
+            config = {"k": K} if name != "det-ruling-sim" else {}
+            report = solve(workload, name, **config)
+            again = replay(workload, report.provenance)
+            assert again.output == report.output, name
+            assert again.rounds == report.rounds, name
+            # The replay pins the derived seed explicitly; everything else
+            # in the provenance block must round-trip unchanged.
+            assert again.provenance.seed == report.provenance.seed, name
+            assert again.provenance.seed_policy == "explicit", name
+            assert again.provenance.config == report.provenance.config, name
+            assert again.provenance.graph_fingerprint == \
+                report.provenance.graph_fingerprint, name
+
+    def test_replay_rejects_wrong_graph(self, workload):
+        report = solve(workload, "luby", seed=1)
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            replay(nx.path_graph(5), report.provenance)
+
+    def test_fingerprint_is_label_stable(self):
+        one = nx.Graph([(1, 2), (2, 3)])
+        two = nx.Graph([(2, 3), (1, 2)])  # different insertion order
+        assert graph_fingerprint(one) == graph_fingerprint(two)
+        assert graph_fingerprint(one) != graph_fingerprint(nx.Graph([(1, 2)]))
+
+
+class TestReportShape:
+    def test_to_row_is_json_serialisable(self, workload):
+        report = solve(workload, "det-power-ruling", k=K, seed=3)
+        row = json.loads(json.dumps(report.to_row()))
+        assert row["algorithm"] == "det-power-ruling"
+        assert row["problem"] == "ruling-set"
+        assert row["certificate"]["ok"] is True
+        assert row["provenance"]["seed"] == 3
+
+    def test_native_result_rides_in_payload(self, workload):
+        report = solve(workload, "power-mis", k=K, seed=3)
+        assert report.result is not None
+        assert report.result.mis == report.output
+
+    def test_greedy_reference_check_attached_for_det_ruling_sim(self, workload):
+        report = solve(workload, "det-ruling-sim", seed=3)
+        names = [check.name for check in report.certificate.checks]
+        assert "greedy-reference" in names
+        assert report.verified
+
+
+class TestScenarioIntegration:
+    def test_views_cover_the_solver_registry(self):
+        view_names = {spec.name for spec in BUILTIN_ALGORITHMS}
+        assert view_names == set(REGISTRY.algorithm_names())
+        assert view_names <= set(DEFAULT_REGISTRY.algorithm_names())
+
+    def test_scenario_view_matches_direct_solve(self):
+        scenario = DEFAULT_REGISTRY.scenario("regular-n24-d3/power-mis-k2")
+        graph = DEFAULT_REGISTRY.build_graph(scenario, seed=11)
+        outcome = DEFAULT_REGISTRY.run_scenario(scenario, seed=11)
+        report = solve(graph, "power-mis", k=2, seed=11)
+        assert outcome.output == report.output
+        assert outcome.rounds == report.rounds
+
+    def test_oracle_layer_routes_through_problem_certifier(self):
+        scenario = DEFAULT_REGISTRY.scenario("regular-n24-d3/sparsify-k2")
+        graph = DEFAULT_REGISTRY.build_graph(scenario, seed=11)
+        outcome = DEFAULT_REGISTRY.run_scenario(scenario, seed=11)
+        oracle = verify_outcome(graph, scenario, outcome, seed=11)
+        report = solve(graph, "sparsify", k=2, seed=11)
+        assert oracle.ok == report.certificate.ok
+        assert [c.name for c in oracle.checks] == \
+            [c.name for c in report.certificate.checks]
+
+    def test_scenario_payload_feeds_the_certifier(self):
+        scenario = DEFAULT_REGISTRY.scenario("er-n20/det-power-ruling-k2")
+        outcome = DEFAULT_REGISTRY.run_scenario(scenario, seed=4)
+        assert "beta_bound" in outcome.payload
+        assert "alpha" in outcome.payload
+
+    def test_run_and_verify_agree_on_filtered_config(self):
+        """A k the algorithm does not accept must be dropped on BOTH paths.
+
+        luby-sim never sees `k` (it computes an MIS of G); a scenario that
+        nonetheless carries k=2 must not be verified against G^2.
+        """
+        from repro.scenarios.registry import Scenario
+
+        scenario = Scenario(name="adhoc/luby-sim-k2", cell="regular-n24-d3",
+                            algorithm="luby-sim", k=2, engine="sync")
+        graph = DEFAULT_REGISTRY.build_cell(scenario.cell, seed=5)
+        spec = next(s for s in BUILTIN_ALGORITHMS if s.name == "luby-sim")
+        outcome = spec.run(graph, scenario, 3)
+        report = verify_outcome(graph, scenario, outcome, seed=3)
+        assert report.ok, report.summary()
+
+
+class TestCli:
+    def test_solve_command_smoke(self, capsys):
+        exit_code = cli_main(["solve", "regular-n24-d3", "power-mis",
+                              "--k", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "power-mis" in out and "checks ok" in out
+
+    def test_solve_command_json(self, capsys):
+        exit_code = cli_main(["solve", "er", "power-ruling", "--k", "2",
+                              "--param", "beta=2", "--json"])
+        assert exit_code == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["certificate"]["ok"] is True
+        assert row["provenance"]["config"]["beta"] == 2
+
+    def test_solve_command_rejects_unknown_algorithm(self, capsys):
+        assert cli_main(["solve", "er", "nope"]) == 2
+
+    def test_algorithms_command_lists_registry(self, capsys):
+        assert cli_main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "power-mis" in out and "mis-power" in out
+
+    def test_scenarios_passthrough(self, capsys):
+        assert cli_main(["scenarios", "list", "--smoke"]) == 0
+        assert "det-ruling-sim" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert cli_main(["frobnicate"]) == 2
+
+    def test_version(self, capsys):
+        assert cli_main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Public-API snapshot: locks ``repro.__all__`` and the registered names.
+
+An accidental export, a dropped shim or a renamed algorithm changes the
+library's public surface; these snapshots make any such change an explicit,
+reviewed test edit instead of a silent drift.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.api import REGISTRY
+from repro.scenarios.algorithms import BUILTIN_ALGORITHMS
+
+EXPECTED_ALL = [
+    "ActiveSetEngine",
+    "Algorithm",
+    "Certificate",
+    "CongestNetwork",
+    "NodeAlgorithm",
+    "Problem",
+    "Provenance",
+    "RoundLedger",
+    "RoundObserver",
+    "RunReport",
+    "Simulator",
+    "SolverRegistry",
+    "SyncEngine",
+    "aglp_ruling_set",
+    "api",
+    "beeping_mis",
+    "beeping_mis_power",
+    "check_power_sparsification",
+    "check_sparsification",
+    "det_sparsification",
+    "deterministic_power_ruling_set",
+    "form_distance_k_ball_graph",
+    "greedy_mis",
+    "id_based_ruling_set",
+    "is_mis_of_power_graph",
+    "is_ruling_set",
+    "luby_mis",
+    "luby_mis_power",
+    "network_decomposition",
+    "power_graph",
+    "power_graph_mis",
+    "power_graph_ruling_set",
+    "power_graph_sparsification",
+    "power_graph_sparsification_low_diameter",
+    "randomized_sparsification",
+    "replay",
+    "shattering_mis",
+    "solve",
+    "verify_invariants",
+    "verify_ruling_set",
+    "__version__",
+]
+
+EXPECTED_ALGORITHMS = [
+    "aglp",
+    "ball-graph",
+    "beeping",
+    "beeping-power",
+    "beeping-sim",
+    "det-power-ruling",
+    "det-ruling-sim",
+    "det-sparsify",
+    "greedy-mis",
+    "greedy-ruling",
+    "id-ruling",
+    "kp12-sparsify",
+    "luby",
+    "luby-power",
+    "luby-sim",
+    "network-decomposition",
+    "power-mis",
+    "power-ruling",
+    "randomized-sparsify",
+    "shattering-mis",
+    "sparsify",
+    "sparsify-low-diameter",
+]
+
+EXPECTED_PROBLEMS = [
+    "ball-graph",
+    "decomposition",
+    "degree-reduction",
+    "mis-power",
+    "ruling-set",
+    "sparsify-power",
+    "sparsify-stage",
+]
+
+#: Default algorithm per problem family (``solve(graph, "<problem>")``).
+EXPECTED_DEFAULTS = {
+    "ball-graph": "ball-graph",
+    "decomposition": "network-decomposition",
+    "degree-reduction": "kp12-sparsify",
+    "mis-power": "power-mis",
+    "ruling-set": "det-power-ruling",
+    "sparsify-power": "sparsify",
+    "sparsify-stage": "det-sparsify",
+}
+
+#: Every legacy shim and the registered algorithm it points to.
+SHIM_TO_ALGORITHM = {
+    "aglp_ruling_set": "aglp",
+    "beeping_mis": "beeping",
+    "beeping_mis_power": "beeping-power",
+    "det_sparsification": "det-sparsify",
+    "deterministic_power_ruling_set": "det-power-ruling",
+    "form_distance_k_ball_graph": "ball-graph",
+    "greedy_mis": "greedy-mis",
+    "id_based_ruling_set": "id-ruling",
+    "luby_mis": "luby",
+    "luby_mis_power": "luby-power",
+    "network_decomposition": "network-decomposition",
+    "power_graph_mis": "power-mis",
+    "power_graph_ruling_set": "power-ruling",
+    "power_graph_sparsification": "sparsify",
+    "power_graph_sparsification_low_diameter": "sparsify-low-diameter",
+    "randomized_sparsification": "randomized-sparsify",
+    "shattering_mis": "shattering-mis",
+}
+
+
+def test_top_level_all_snapshot():
+    assert repro.__all__ == EXPECTED_ALL
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export {name}"
+
+
+def test_registered_algorithm_names_snapshot():
+    assert REGISTRY.algorithm_names() == EXPECTED_ALGORITHMS
+
+
+def test_registered_problem_names_snapshot():
+    assert REGISTRY.problem_names() == EXPECTED_PROBLEMS
+
+
+def test_default_algorithm_per_problem_snapshot():
+    for problem, expected in EXPECTED_DEFAULTS.items():
+        assert REGISTRY.default_algorithm(problem).name == expected
+
+
+def test_every_shim_has_a_registered_counterpart():
+    for shim_name, algorithm in SHIM_TO_ALGORITHM.items():
+        assert hasattr(repro, shim_name), shim_name
+        assert algorithm in EXPECTED_ALGORITHMS, shim_name
+        spec = REGISTRY.algorithm(algorithm)
+        assert spec.problem in EXPECTED_PROBLEMS
+
+
+def test_scenario_views_track_the_registry():
+    assert [spec.name for spec in BUILTIN_ALGORITHMS] == EXPECTED_ALGORITHMS
+
+
+def test_algorithm_defaults_are_hashable_and_frozen():
+    """The typed configs must stay frozen (tuples of (key, value) pairs)."""
+    for name in REGISTRY.algorithm_names():
+        spec = REGISTRY.algorithm(name)
+        assert isinstance(spec.defaults, tuple)
+        hash(spec.defaults)  # frozen = hashable
