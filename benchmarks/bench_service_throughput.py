@@ -1,0 +1,288 @@
+"""Experiment SERVICE-THROUGHPUT -- warm-cache serving vs. direct solving.
+
+A closed-loop load generator for the :mod:`repro.service` stack: client
+threads issue ``POST /solve`` requests drawn from a zipf-skewed mix of
+scenario-registry cells (a few hot requests dominate, a long tail recurs
+occasionally -- the canonical serving distribution), against a server whose
+content-addressed cache is warm.  The baseline is the same request mix
+dispatched as direct, uncached ``repro.solve`` calls -- what every consumer
+of the library paid before the service layer existed.
+
+Two measurements per mix entry:
+
+* ``direct_rps`` -- sequential certified ``repro.solve`` calls (graphs
+  prebuilt; fingerprints memoized -- the baseline gets every in-process
+  advantage except the cache);
+* ``served_rps`` -- closed-loop HTTP requests against the warm cache with
+  ``--concurrency`` client threads.
+
+The acceptance gate is a **geometric-mean speedup >= 5x** across the mix
+(every entry also reported individually), plus a mixed zipf phase whose
+aggregate throughput and ``/stats`` hit-rate are recorded.  ``--smoke``
+shrinks the mix and the iteration counts but keeps the gate -- CI runs it
+on every push.  Results land in ``service_throughput.json`` under the
+results directory (`REPRO_RESULTS_DIR` honoured).
+
+``--server URL`` drives an externally-booted ``repro serve`` endpoint
+(the CI workflow does this); without it the benchmark boots an in-process
+server with inline workers on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import threading
+import time
+from typing import Any, Sequence
+
+from harness import ensure_results_dir
+from repro.analysis.tables import format_table
+from repro.api import REGISTRY, solve
+from repro.scenarios.registry import DEFAULT_REGISTRY
+from repro.service import ServiceClient, ServiceServer, SolveCache, SolveScheduler
+
+EXPERIMENT_ID = "service_throughput"
+SPEEDUP_TARGET = 5.0  # geometric mean across the request mix
+
+#: (workload cell, algorithm, config) -- the serveable request vocabulary.
+#: Entries are chosen so a solve costs at least a few milliseconds: a
+#: cache can only beat recomputation by 5x when the computation dwarfs the
+#: request/response plumbing (sub-millisecond toy cells measure the HTTP
+#: stack, not the cache).
+FULL_MIX: list[tuple[str, str, dict[str, Any]]] = [
+    ("regular-n128-d6", "det-power-ruling", {"k": 2}),
+    ("regular-n128-d6", "sparsify", {"k": 2}),
+    ("regular-n96-d8", "det-power-ruling", {"k": 2}),
+    ("er-n48", "sparsify", {"k": 2}),
+    ("regular-n64-d4", "sparsify", {"k": 2}),
+    ("grid-8x8", "sparsify", {"k": 2}),
+    ("er-n48", "det-power-ruling", {"k": 2}),
+    ("regular-n64-d4", "det-power-ruling", {"k": 2}),
+]
+
+SMOKE_MIX: list[tuple[str, str, dict[str, Any]]] = [
+    ("regular-n64-d4", "det-power-ruling", {"k": 2}),
+    ("er-n48", "det-power-ruling", {"k": 2}),
+    ("regular-n64-d4", "sparsify", {"k": 2}),
+    ("grid-8x8", "sparsify", {"k": 2}),
+]
+
+
+def zipf_weights(count: int, s: float) -> list[float]:
+    """Normalised zipf(s) weights over ranks 1..count."""
+    raw = [1.0 / (rank ** s) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def zipf_sequence(count: int, length: int, *, s: float, seed: int) -> list[int]:
+    """A deterministic zipf-skewed index sequence (shared by both sides)."""
+    import random
+
+    rng = random.Random(seed)
+    weights = zipf_weights(count, s)
+    return rng.choices(range(count), weights=weights, k=length)
+
+
+# ------------------------------------------------------------------ baseline
+def measure_direct(mix: Sequence[tuple[str, str, dict[str, Any]]], *,
+                   iters: int) -> list[float]:
+    """Sequential certified ``repro.solve`` throughput per mix entry."""
+    graphs = {workload: DEFAULT_REGISTRY.build_cell(workload, seed=0)
+              for workload, _, _ in mix}
+    rates: list[float] = []
+    for workload, algorithm, config in mix:
+        graph = graphs[workload]
+        solve(graph, algorithm, **config)  # untimed warmup (allocator, memo)
+        start = time.perf_counter()
+        for _ in range(iters):
+            solve(graph, algorithm, **config)
+        elapsed = time.perf_counter() - start
+        rates.append(iters / elapsed if elapsed > 0 else float("inf"))
+    return rates
+
+
+# -------------------------------------------------------------------- served
+def _closed_loop(client: ServiceClient,
+                 requests: Sequence[tuple[str, str, dict[str, Any]]], *,
+                 concurrency: int) -> tuple[float, list[dict[str, Any]]]:
+    """Issue ``requests`` from ``concurrency`` closed-loop client threads.
+
+    Returns ``(elapsed_s, rows)``.  The request list is sliced round-robin
+    across threads; each thread issues its slice back-to-back (closed loop:
+    a new request only after the previous response).
+    """
+    rows: list[list[dict[str, Any]]] = [[] for _ in range(concurrency)]
+    errors: list[Exception] = []
+
+    def worker(worker_index: int) -> None:
+        try:
+            for workload, algorithm, config in requests[worker_index::concurrency]:
+                row = client.solve(workload, algorithm, config=config)
+                rows[worker_index].append(row)
+        except Exception as error:  # noqa: BLE001 - surfaced after join
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(index,), daemon=True)
+               for index in range(concurrency)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed, [row for slice_rows in rows for row in slice_rows]
+
+
+def measure_served(client: ServiceClient,
+                   mix: Sequence[tuple[str, str, dict[str, Any]]], *,
+                   iters: int, concurrency: int, zipf_s: float,
+                   mixed_requests: int, seed: int) -> dict[str, Any]:
+    """Warm the cache, then measure per-entry and mixed-zipf serving rates."""
+    # Warm phase: every distinct request computed exactly once.
+    for workload, algorithm, config in mix:
+        client.solve(workload, algorithm, config=config)
+
+    per_entry_rps: list[float] = []
+    for entry in mix:
+        batch = [entry] * iters
+        elapsed, rows = _closed_loop(client, batch, concurrency=concurrency)
+        assert all(row["status"] in ("hit", "coalesced") for row in rows), \
+            "warm-phase requests must be served from cache"
+        per_entry_rps.append(len(rows) / elapsed if elapsed > 0 else float("inf"))
+
+    sequence = zipf_sequence(len(mix), mixed_requests, s=zipf_s, seed=seed)
+    mixed = [mix[index] for index in sequence]
+    elapsed, rows = _closed_loop(client, mixed, concurrency=concurrency)
+    mixed_rps = len(rows) / elapsed if elapsed > 0 else float("inf")
+    return {
+        "per_entry_rps": per_entry_rps,
+        "mixed_rps": mixed_rps,
+        "mixed_requests": len(rows),
+        "stats": client.stats(),
+    }
+
+
+# ---------------------------------------------------------------- experiment
+def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
+                                  zipf_s: float = 1.1, seed: int = 7,
+                                  server_url: str | None = None,
+                                  ) -> dict[str, Any]:
+    mix = SMOKE_MIX if smoke else FULL_MIX
+    direct_iters = 3 if smoke else 10
+    served_iters = 40 if smoke else 200
+    mixed_requests = 120 if smoke else 1000
+
+    direct_rps = measure_direct(mix, iters=direct_iters)
+
+    if server_url:
+        client = ServiceClient(server_url)
+        client.wait_healthy()
+        served = measure_served(client, mix, iters=served_iters,
+                                concurrency=concurrency, zipf_s=zipf_s,
+                                mixed_requests=mixed_requests, seed=seed)
+    else:
+        scheduler = SolveScheduler(cache=SolveCache(""), inline=True)
+        with ServiceServer(port=0, scheduler=scheduler) as server:
+            client = ServiceClient(server.url)
+            client.wait_healthy()
+            served = measure_served(client, mix, iters=served_iters,
+                                    concurrency=concurrency, zipf_s=zipf_s,
+                                    mixed_requests=mixed_requests, seed=seed)
+
+    rows = []
+    speedups = []
+    for (workload, algorithm, config), direct, warm in zip(
+            mix, direct_rps, served["per_entry_rps"]):
+        speedup = warm / direct if direct > 0 else float("inf")
+        speedups.append(speedup)
+        rows.append({
+            "workload": workload,
+            "algorithm": algorithm,
+            "config": ",".join(f"{k}={v}" for k, v in sorted(config.items())),
+            "direct_rps": round(direct, 1),
+            "served_rps": round(warm, 1),
+            "speedup": round(speedup, 2),
+        })
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    stats = served["stats"]
+    return {
+        "smoke": smoke,
+        "concurrency": concurrency,
+        "zipf_s": zipf_s,
+        "rows": rows,
+        "geomean_speedup": round(geomean, 2),
+        "mixed_rps": round(served["mixed_rps"], 1),
+        "mixed_requests": served["mixed_requests"],
+        "hit_rate": stats.get("hit_rate"),
+        "coalesced": stats.get("coalesced"),
+        "latency_ms": stats.get("latency_ms"),
+        "target": SPEEDUP_TARGET,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Load-generate the repro.service stack and gate the "
+                    "warm-cache speedup.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI mix (the >=5x gate still applies)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client threads (default: 8)")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="zipf skew of the mixed phase (default: 1.1)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed of the zipf request sequence")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="drive an external repro serve endpoint "
+                             "(default: boot an in-process server)")
+    parser.add_argument("--output", default=None,
+                        help="write the result JSON here (default: "
+                             "<results>/service_throughput.json)")
+    args = parser.parse_args(argv)
+    if os.environ.get("SMOKE") == "1":
+        args.smoke = True
+
+    result = experiment_service_throughput(
+        smoke=args.smoke, concurrency=args.concurrency, zipf_s=args.zipf_s,
+        seed=args.seed, server_url=args.server)
+
+    title = f"[{EXPERIMENT_ID}{'/smoke' if args.smoke else ''}]"
+    print()
+    print(format_table(result["rows"], title=title))
+    print(f"mixed zipf(s={result['zipf_s']}) phase: "
+          f"{result['mixed_rps']} req/s over {result['mixed_requests']} "
+          f"requests at concurrency {result['concurrency']}; "
+          f"server hit-rate {result['hit_rate']}, "
+          f"coalesced {result['coalesced']}")
+
+    output = args.output
+    if output is None:
+        output = os.path.join(ensure_results_dir(),
+                              f"{EXPERIMENT_ID}.json")
+    else:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    print(f"results written to {output}")
+
+    geomean = result["geomean_speedup"]
+    print(f"warm-cache speedup: geomean {geomean:.2f}x over direct "
+          f"uncached repro.solve")
+    if geomean < SPEEDUP_TARGET:
+        print(f"FAIL: target is geomean >= {SPEEDUP_TARGET}x", file=sys.stderr)
+        return 1
+    print(f"OK: >= {SPEEDUP_TARGET}x (geomean) over direct solving")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -23,12 +23,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 import networkx as nx
 
+from repro._paths import results_dir
 from repro.analysis.tables import format_table
 from repro.api import RunReport, solve
 from repro.graphs.properties import max_degree
 from repro.scenarios.registry import DEFAULT_REGISTRY
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_DIR = results_dir()
 
 __all__ = [
     "RESULTS_DIR",

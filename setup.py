@@ -21,7 +21,8 @@ setup(
     version=_VERSION,
     description=("Distributed symmetry breaking on power graphs via "
                  "sparsification (PODC 2023) -- simulation-grade reproduction "
-                 "with a typed solver API"),
+                 "with a typed solver API and a content-addressed solve "
+                 "service (repro serve)"),
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",

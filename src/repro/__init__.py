@@ -41,7 +41,9 @@ True
 its default algorithm (Theorem 1.2's shattering MIS).  The registered
 algorithms are listed by ``repro.api.REGISTRY.algorithm_names()`` and the
 ``repro`` command line (``repro solve <cell> <algorithm>``,
-``repro scenarios run --smoke``).
+``repro scenarios run --smoke``).  ``repro serve`` exposes the same solves
+over JSON/HTTP behind the content-addressed cache of
+:mod:`repro.service`.
 
 The legacy free functions (``repro.power_graph_mis`` and friends) remain as
 deprecation shims with bit-identical outputs; new code should call
@@ -103,7 +105,7 @@ from repro.ruling.verify import (
     verify_ruling_set,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def _deprecated_shim(func, api_name=None):

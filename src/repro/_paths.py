@@ -1,0 +1,58 @@
+"""Result-directory anchoring shared by stores, caches and benchmarks.
+
+Historically every consumer re-derived ``benchmarks/results/`` with its own
+``os.path.dirname`` walk, which silently mis-anchors when the package is
+imported from an installed location (``site-packages/repro`` has no
+``benchmarks/`` sibling four levels up).  This module is the single home of
+that decision:
+
+* ``REPRO_RESULTS_DIR`` (environment variable), when set, wins outright --
+  the operational escape hatch for services, CI and installed packages;
+* otherwise, when the package is imported from a source tree (a
+  ``benchmarks/`` directory next to ``src/``), results anchor there, so the
+  CLI and stores behave consistently from any working directory;
+* otherwise results fall back to ``benchmarks/results`` relative to the
+  current working directory (the best an installed package can do without
+  configuration).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["repo_root", "results_dir", "results_path"]
+
+
+def repo_root() -> str | None:
+    """The source-tree checkout root, or ``None`` for installed packages.
+
+    Detected structurally: the package lives at ``<root>/src/repro`` and the
+    root carries a ``benchmarks/`` directory.  No marker file is required,
+    so fresh checkouts and CI workspaces are recognised as-is.
+    """
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    candidate = os.path.dirname(os.path.dirname(package_dir))
+    if os.path.isdir(os.path.join(candidate, "benchmarks")):
+        return candidate
+    return None
+
+
+def results_dir() -> str:
+    """The directory results, stores and caches anchor to (not created)."""
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        return override
+    root = repo_root()
+    if root is not None:
+        return os.path.join(root, "benchmarks", "results")
+    return os.path.join("benchmarks", "results")
+
+
+def results_path(*parts: str, create: bool = False) -> str:
+    """A path under :func:`results_dir`; ``create=True`` makes the parent."""
+    path = os.path.join(results_dir(), *parts)
+    if create:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    return path

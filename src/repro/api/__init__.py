@@ -35,10 +35,17 @@ from repro.api.registry import (
     AdapterOutcome,
     Algorithm,
     SolveContext,
+    SolvePlan,
     SolverRegistry,
     new_registry,
 )
-from repro.api.report import Provenance, RunReport, graph_fingerprint
+from repro.api.report import (
+    Provenance,
+    RunReport,
+    graph_fingerprint,
+    invalidate_fingerprint,
+)
+from repro.api.serialize import report_from_json, report_to_json
 
 __all__ = [
     "AdapterOutcome",
@@ -50,11 +57,15 @@ __all__ = [
     "REGISTRY",
     "RunReport",
     "SolveContext",
+    "SolvePlan",
     "SolverRegistry",
     "default_solver_registry",
     "graph_fingerprint",
+    "invalidate_fingerprint",
     "new_registry",
     "replay",
+    "report_from_json",
+    "report_to_json",
     "solve",
 ]
 

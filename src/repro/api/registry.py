@@ -40,6 +40,7 @@ __all__ = [
     "AdapterOutcome",
     "Algorithm",
     "SolveContext",
+    "SolvePlan",
     "SolverRegistry",
 ]
 
@@ -68,6 +69,30 @@ class AdapterOutcome:
     rounds: int
     metrics: dict[str, Any] = field(default_factory=dict)
     payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolvePlan:
+    """A fully-resolved solve before execution: the content address.
+
+    ``plan()`` performs everything deterministic about a solve -- algorithm
+    resolution, config canonicalisation, graph fingerprinting and seed
+    derivation -- without running the algorithm.  The resulting tuple
+    ``(graph_fingerprint, algorithm, config, seed)`` identifies the run
+    bit-for-bit (it is exactly what lands in the report's provenance), so
+    the service layer uses the plan as its cache key and coalescing
+    identity.
+    """
+
+    algorithm: Algorithm
+    config: tuple[tuple[str, Any], ...]
+    graph_fingerprint: str
+    seed: int
+    seed_policy: str
+
+    @property
+    def config_dict(self) -> dict[str, Any]:
+        return dict(self.config)
 
 
 @dataclass(frozen=True)
@@ -175,6 +200,32 @@ class SolverRegistry:
             f"({', '.join(self.problem_names())})")
 
     # ------------------------------------------------------------ execution
+    def plan(self, graph: nx.Graph,
+             problem_or_algorithm: str | Algorithm | Problem, *,
+             seed: int | None = None, **config: Any) -> SolvePlan:
+        """Resolve a solve to its content address without executing it.
+
+        Performs the deterministic half of :meth:`solve` -- name
+        resolution, typed-config validation and canonicalisation, graph
+        fingerprinting and seed derivation -- and returns the
+        :class:`SolvePlan` that identifies the run.  ``solve`` itself is
+        ``plan`` + adapter execution + certification, so a plan computed by
+        the service layer keys exactly the report ``solve`` would produce.
+        """
+        spec = self.resolve(problem_or_algorithm)
+        resolved = spec.resolve_config(config)
+        fingerprint = graph_fingerprint(graph)
+        canonical = _config_tuple(resolved)
+        if seed is not None:
+            derived_seed, policy = int(seed), "explicit"
+        else:
+            derived_seed = derive_seed("repro.api", spec.name, fingerprint,
+                                       canonical, bits=32)
+            policy = "derived"
+        return SolvePlan(algorithm=spec, config=canonical,
+                         graph_fingerprint=fingerprint, seed=derived_seed,
+                         seed_policy=policy)
+
     def solve(self, graph: nx.Graph,
               problem_or_algorithm: str | Algorithm | Problem, *,
               seed: int | None = None, verify: bool = True,
@@ -188,17 +239,11 @@ class SolverRegistry:
         the algorithm, config and graph fingerprint (policy ``"derived"``).
         ``verify=True`` attaches the problem certifier's Certificate.
         """
-        spec = self.resolve(problem_or_algorithm)
-        resolved = spec.resolve_config(config)
-        fingerprint = graph_fingerprint(graph)
-        if seed is not None:
-            derived_seed, policy = int(seed), "explicit"
-        else:
-            derived_seed = derive_seed("repro.api", spec.name, fingerprint,
-                                       _config_tuple(resolved), bits=32)
-            policy = "derived"
-        ctx = SolveContext(config=resolved, seed=derived_seed,
-                           rng=random.Random(derived_seed))
+        plan = self.plan(graph, problem_or_algorithm, seed=seed, **config)
+        spec = plan.algorithm
+        resolved = plan.config_dict
+        ctx = SolveContext(config=resolved, seed=plan.seed,
+                           rng=random.Random(plan.seed))
         outcome = spec.run(graph, ctx)
 
         from repro import __version__ as library_version  # late: avoids cycle
@@ -206,10 +251,10 @@ class SolverRegistry:
         provenance = Provenance(
             algorithm=spec.name,
             problem=spec.problem,
-            config=_config_tuple(resolved),
-            seed=derived_seed,
-            seed_policy=policy,
-            graph_fingerprint=fingerprint,
+            config=plan.config,
+            seed=plan.seed,
+            seed_policy=plan.seed_policy,
+            graph_fingerprint=plan.graph_fingerprint,
             n=graph.number_of_nodes(),
             m=graph.number_of_edges(),
             library_version=library_version,

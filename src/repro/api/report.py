@@ -18,6 +18,7 @@ with the same fingerprint -- :func:`repro.api.replay` does exactly that.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping
 
@@ -27,7 +28,19 @@ from repro.api.certify import Certificate
 
 Node = Hashable
 
-__all__ = ["Provenance", "RunReport", "graph_fingerprint"]
+__all__ = ["Provenance", "RunReport", "graph_fingerprint",
+           "invalidate_fingerprint"]
+
+#: Per-object fingerprint memo.  Keyed by graph *identity* (weak references,
+#: so retired graphs cost nothing) -- see ``graph_fingerprint`` for the
+#: invalidation contract.
+_FINGERPRINT_MEMO: "weakref.WeakKeyDictionary[nx.Graph, str]" = (
+    weakref.WeakKeyDictionary())
+
+
+def invalidate_fingerprint(graph: nx.Graph) -> None:
+    """Drop the memoized fingerprint of ``graph`` (call after mutating it)."""
+    _FINGERPRINT_MEMO.pop(graph, None)
 
 
 def graph_fingerprint(graph: nx.Graph) -> str:
@@ -36,7 +49,23 @@ def graph_fingerprint(graph: nx.Graph) -> str:
     Hashes the sorted node and edge lists (by string representation), so the
     value is independent of insertion order, process and Python invocation --
     the graph-identity half of the reproducibility contract.
+
+    The value is memoized per graph *object* (weak-ref keyed): computing it
+    re-sorts every node and edge, which is a hot-path cost the solve and
+    service layers would otherwise pay on every request.  Invalidation
+    contract: the memo is keyed by object identity and is **not** watched
+    for mutation -- a graph mutated after its first fingerprint keeps
+    returning the stale value until :func:`invalidate_fingerprint` is
+    called (or a new graph object is built).  The library itself never
+    mutates a graph after fingerprinting it.
     """
+    try:
+        cached = _FINGERPRINT_MEMO.get(graph)
+    except TypeError:  # non-weakrefable graph subclass: compute uncached
+        cached = None
+    else:
+        if cached is not None:
+            return cached
     digest = hashlib.sha256()
     digest.update(f"n={graph.number_of_nodes()};m={graph.number_of_edges()};".encode())
     for node in sorted(graph.nodes(), key=str):
@@ -44,7 +73,12 @@ def graph_fingerprint(graph: nx.Graph) -> str:
     for u, v in sorted((sorted((u, v), key=str) for u, v in graph.edges()),
                        key=lambda edge: (str(edge[0]), str(edge[1]))):
         digest.update(f"e:{u!r}|{v!r};".encode())
-    return digest.hexdigest()[:16]
+    fingerprint = digest.hexdigest()[:16]
+    try:
+        _FINGERPRINT_MEMO[graph] = fingerprint
+    except TypeError:
+        pass
+    return fingerprint
 
 
 @dataclass(frozen=True)
@@ -64,6 +98,27 @@ class Provenance:
     @property
     def config_dict(self) -> dict[str, Any]:
         return dict(self.config)
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "Provenance":
+        """Rebuild a provenance block from its :meth:`to_row` dict.
+
+        Inverse of :meth:`to_row` up to JSON's type system: the ``config``
+        mapping is re-canonicalised into the sorted tuple form, so
+        ``Provenance.from_row(p.to_row()) == p`` for every provenance the
+        solve path produces.
+        """
+        return cls(
+            algorithm=str(row["algorithm"]),
+            problem=str(row["problem"]),
+            config=tuple(sorted(dict(row.get("config") or {}).items())),
+            seed=int(row["seed"]),
+            seed_policy=str(row.get("seed_policy", "explicit")),
+            graph_fingerprint=str(row["graph_fingerprint"]),
+            n=int(row["n"]),
+            m=int(row["m"]),
+            library_version=str(row.get("library_version", "")),
+        )
 
     def to_row(self) -> dict[str, Any]:
         return {

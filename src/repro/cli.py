@@ -7,9 +7,12 @@ One command wraps the library's two operational surfaces:
     :mod:`repro.api.cli`).
 ``repro algorithms``
     List the registered algorithms and problem families.
-``repro scenarios <list|families|run> ...``
+``repro scenarios <list|families|run|compact> ...``
     The scenario sweep CLI of :mod:`repro.scenarios.cli` (e.g.
     ``repro scenarios run --smoke``).
+``repro serve``
+    Serve ``repro.solve`` over JSON/HTTP with the content-addressed cache
+    (see :mod:`repro.service.server`).
 ``repro --version``
     Print the library version.
 """
@@ -26,7 +29,9 @@ _USAGE = """usage: repro <command> ...
 commands:
   solve <workload> <algorithm>   run one certified solve (repro solve --help)
   algorithms                     list registered algorithms and problems
-  scenarios <list|families|run>  scenario sweeps (repro scenarios run --smoke)
+  scenarios <list|families|run|compact>
+                                 scenario sweeps (repro scenarios run --smoke)
+  serve                          JSON/HTTP solve service (repro serve --help)
   --version                      print the library version
 """
 
@@ -46,6 +51,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.scenarios.cli import main as scenarios_main
 
         return scenarios_main(rest)
+    if command == "serve":
+        from repro.service.server import main as serve_main
+
+        return serve_main(rest)
     if command in ("solve", "algorithms"):
         from repro.api.cli import main as api_main
 

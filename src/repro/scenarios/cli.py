@@ -8,7 +8,12 @@ Commands
     Print the registered graph families and cells.
 ``run``
     Execute a scenario sweep in parallel with oracle verification and
-    resume-from-store caching.  ``--smoke`` selects the tiny CI sweep.
+    resume-from-store caching.  ``--smoke`` selects the tiny CI sweep;
+    ``--cache [PATH]`` additionally routes executed solves through the
+    service layer's content-addressed cache tier.
+``compact``
+    Rewrite the append-only JSON-lines stores (scenario results and,
+    with ``--cache``, the solve cache) keeping last-write-wins rows.
 
 Exit status of ``run`` is non-zero when any cell fails its oracles, so the
 command doubles as a randomized end-to-end test in CI.
@@ -23,7 +28,7 @@ from typing import Sequence
 from repro.analysis.tables import format_table
 from repro.scenarios.registry import DEFAULT_REGISTRY
 from repro.scenarios.runner import run_batch
-from repro.scenarios.store import default_store_path
+from repro.scenarios.store import ResultStore, default_store_path
 
 __all__ = ["build_parser", "main"]
 
@@ -54,6 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="re-execute cells even if present in the store")
     run_parser.add_argument("--no-verify", action="store_true",
                             help="skip the oracle verification layer")
+    run_parser.add_argument("--cache", nargs="?", const="__default__",
+                            default=None, metavar="PATH", dest="solve_cache",
+                            help="route executed solves through the service "
+                                 "layer's content-addressed cache (optional "
+                                 "PATH; default: the shared solve-cache store)")
+
+    compact_parser = commands.add_parser(
+        "compact", help="rewrite JSON-lines stores keeping live rows only")
+    compact_parser.add_argument("--store", default=None,
+                                help=f"scenario result store to compact "
+                                     f"(default: {default_store_path()})")
+    compact_parser.add_argument("--cache", nargs="?", const="__default__",
+                                default=None, metavar="PATH",
+                                dest="solve_cache",
+                                help="also compact a solve-cache store "
+                                     "(optional PATH; default: the shared "
+                                     "solve-cache store)")
     return parser
 
 
@@ -107,6 +129,17 @@ def _cmd_families(args: argparse.Namespace) -> int:
     return 0
 
 
+def _solve_cache_path(value: str | None) -> str | None:
+    """Map the ``--cache [PATH]`` argument onto ``solve_cache_path``."""
+    if value is None:
+        return None
+    if value == "__default__":
+        from repro.service.cache import default_cache_path
+
+        return default_cache_path()
+    return value
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenarios = _select(args)
     if not scenarios:
@@ -120,10 +153,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store_path=args.store,
         resume=not args.no_resume,
         verify=not args.no_verify,
+        solve_cache_path=_solve_cache_path(args.solve_cache),
         progress=print,
     )
     print(summary.format())
     return 0 if summary.ok else 1
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store or default_store_path())
+    kept, dropped = store.compact()
+    print(f"[scenarios] compacted {store.path}: kept {kept}, "
+          f"dropped {dropped}")
+    cache_path = _solve_cache_path(args.solve_cache)
+    if cache_path is not None:
+        cache_store = ResultStore(cache_path, key_field="cache_key")
+        kept, dropped = cache_store.compact()
+        print(f"[scenarios] compacted {cache_store.path}: kept {kept}, "
+              f"dropped {dropped}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -132,4 +180,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list(args)
     if args.command == "families":
         return _cmd_families(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
     return _cmd_run(args)

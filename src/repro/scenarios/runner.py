@@ -99,11 +99,18 @@ def plan_tasks(scenarios: Sequence[Scenario], *, repeats: int = 1,
 
 def run_task(scenario: Scenario, *, seed: int, repeat: int = 0, base_seed: int = 0,
              registry: ScenarioRegistry | None = None,
-             verify: bool = True) -> dict[str, Any]:
+             verify: bool = True, solve_cache=None) -> dict[str, Any]:
     """Execute one scenario cell and return its (JSON-serialisable) row.
 
     A crashing algorithm or oracle produces a failed row (with the exception
     recorded under ``failures``) rather than aborting the whole batch.
+
+    ``solve_cache`` (a :class:`repro.service.cache.SolveCache`) routes the
+    solve through the service layer's content-addressed tier: a repeated
+    ``(graph, algorithm, config, seed)`` cell is served from the cache and
+    its stored certificate is replayed as the row's verdict -- the
+    certificate runs the same problem certifiers the oracle layer
+    dispatches to, so the guarantee checked is identical.
     """
     registry = registry or DEFAULT_REGISTRY
     row: dict[str, Any] = {
@@ -122,6 +129,34 @@ def run_task(scenario: Scenario, *, seed: int, repeat: int = 0, base_seed: int =
     try:
         row["family"] = registry.cell(scenario.cell).family
         graph = registry.build_graph(scenario, seed=seed)
+        if solve_cache is not None:
+            from repro.scenarios.algorithms import scenario_config
+
+            cached = solve_cache.solve(
+                graph, scenario.algorithm, seed=seed, verify=verify,
+                **scenario_config(scenario))
+            certificate = cached.report.certificate
+            row.update({
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+                "rounds": cached.report.rounds,
+                "output_size": len(cached.report.output),
+                "metrics": dict(cached.report.metrics),
+                "solve_cache_hit": cached.hit,
+                "solve_cache_tier": cached.tier,
+            })
+            if verify and certificate is not None:
+                row["ok"] = certificate.ok
+                row["checks"] = len(certificate.checks)
+                row["failures"] = [
+                    f"{check.name}: {check.detail or 'failed'}"
+                    for check in certificate.failures()]
+            else:
+                row["ok"] = True
+                row["checks"] = 0
+                row["failures"] = []
+            row["elapsed_s"] = round(time.perf_counter() - start, 6)
+            return row
         outcome = registry.algorithm(scenario.algorithm).run(graph, scenario, seed)
         row.update({
             "n": graph.number_of_nodes(),
@@ -194,6 +229,7 @@ def run_batch(scenarios: Iterable[Scenario] | None = None, *,
               store_path: str | None = None,
               resume: bool = True,
               verify: bool = True,
+              solve_cache_path: str | None = None,
               progress: Callable[[str], None] | None = None) -> BatchSummary:
     """Run a set of scenarios in parallel with resume-from-store caching.
 
@@ -215,10 +251,21 @@ def run_batch(scenarios: Iterable[Scenario] | None = None, *,
         Serve cells already present in the store from cache.
     verify:
         Apply the oracle layer to every executed result.
+    solve_cache_path:
+        Route executed solves through the service layer's content-addressed
+        cache tier (:mod:`repro.service.cache`): ``None`` disables, ``""``
+        uses a memory-only cache, a path uses/extends that persistent
+        store.  The cache is an in-process object, so this forces serial
+        execution (cache hits make the serial pass cheap).
     """
     start = time.perf_counter()
     is_default_registry = registry is None or registry is DEFAULT_REGISTRY
     registry = registry or DEFAULT_REGISTRY
+    solve_cache = None
+    if solve_cache_path is not None:
+        from repro.service.cache import SolveCache
+
+        solve_cache = SolveCache(solve_cache_path)
     chosen = list(scenarios) if scenarios is not None else registry.scenarios()
     tasks = plan_tasks(chosen, repeats=repeats, base_seed=base_seed,
                        registry=registry)
@@ -258,7 +305,7 @@ def run_batch(scenarios: Iterable[Scenario] | None = None, *,
     if pending:
         if jobs is None:
             jobs = _default_jobs(len(pending))
-        use_pool = (jobs > 1 and is_default_registry
+        use_pool = (jobs > 1 and is_default_registry and solve_cache is None
                     and all(_is_registered_verbatim(scenario)
                             for scenario, _, _ in pending))
         if use_pool:
@@ -274,7 +321,7 @@ def run_batch(scenarios: Iterable[Scenario] | None = None, *,
             for scenario, repeat, seed in pending:
                 absorb(run_task(scenario, seed=seed, repeat=repeat,
                                 base_seed=base_seed, registry=registry,
-                                verify=verify))
+                                verify=verify, solve_cache=solve_cache))
 
     return BatchSummary(
         requested=len(tasks),

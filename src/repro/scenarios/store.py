@@ -6,38 +6,48 @@ append-only -- re-running a sweep appends only the cells that are missing,
 and loading keeps the *last* row per key so a forced re-run supersedes older
 rows without rewriting the file.  Corrupt or truncated lines (e.g. from a
 killed worker) are skipped rather than poisoning the whole store.
+:meth:`ResultStore.compact` rewrites the file keeping only the live
+(last-write-wins) rows, so long-lived stores stop growing unboundedly.
+
+The same store format backs the persistent tier of the service-layer solve
+cache (:mod:`repro.service.cache`), which keys rows by ``cache_key``
+instead of ``cell_key``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Any, Iterator, Mapping
+
+from repro._paths import results_path
 
 __all__ = ["ResultStore", "default_store_path"]
 
 
 def default_store_path() -> str:
-    """``benchmarks/results/scenarios.jsonl``, anchored to the repo checkout.
+    """``benchmarks/results/scenarios.jsonl``, anchored by :mod:`repro._paths`.
 
-    When the package is imported from a source tree (``src/repro/...`` next
-    to ``benchmarks/``) the store is anchored there, so the CLI caches
-    consistently from any working directory; otherwise it falls back to a
-    path relative to the current directory.
+    Honours the ``REPRO_RESULTS_DIR`` environment variable; otherwise the
+    store anchors to the source-tree checkout when there is one (so the CLI
+    caches consistently from any working directory) and falls back to a
+    path relative to the current directory for installed packages.
     """
-    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))))
-    anchored = os.path.join(repo_root, "benchmarks")
-    if os.path.isdir(anchored):
-        return os.path.join(anchored, "results", "scenarios.jsonl")
-    return os.path.join("benchmarks", "results", "scenarios.jsonl")
+    return results_path("scenarios.jsonl")
 
 
 class ResultStore:
-    """An append-only JSON-lines store of scenario-runner rows."""
+    """An append-only JSON-lines store of keyed result rows.
 
-    def __init__(self, path: str) -> None:
+    ``key_field`` names the identity column (``cell_key`` for scenario rows,
+    ``cache_key`` for the service-layer solve cache); rows without it are
+    dropped on load and compaction.
+    """
+
+    def __init__(self, path: str, *, key_field: str = "cell_key") -> None:
         self.path = str(path)
+        self.key_field = key_field
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
@@ -56,7 +66,7 @@ class ResultStore:
                     row = json.loads(line)
                 except json.JSONDecodeError:
                     continue
-                key = row.get("cell_key")
+                key = row.get(self.key_field)
                 if isinstance(key, str):
                     rows[key] = row
         return rows
@@ -76,6 +86,39 @@ class ResultStore:
             self.append(row)
             count += 1
         return count
+
+    def compact(self) -> tuple[int, int]:
+        """Rewrite the store keeping only the live (last-write-wins) rows.
+
+        Returns ``(kept, dropped)`` where ``dropped`` counts superseded,
+        corrupt and key-less lines.  The rewrite goes through a temporary
+        file in the same directory followed by an atomic ``os.replace``, so
+        a crash mid-compaction never loses the original store, and
+        concurrent readers see either the old or the new file, never a
+        partial one.  (Concurrent *appenders* may still lose a row written
+        between the load and the replace -- compact quiesced stores.)
+        """
+        if not self.exists():
+            return (0, 0)
+        rows = self.load()
+        total_lines = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    total_lines += 1
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".compact")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for row in rows.values():
+                    handle.write(json.dumps(row, sort_keys=True, default=str)
+                                 + "\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return (len(rows), total_lines - len(rows))
 
     def __len__(self) -> int:
         return len(self.load())

@@ -1,0 +1,66 @@
+"""The serving layer: content-addressed solve cache + async batch serving.
+
+The fourth subsystem (after ``congest``, ``api`` and ``scenarios``): it
+turns the solver library into a servable system.  PR 3's provenance block
+-- ``(graph_fingerprint, algorithm, canonical config, seed)`` -- identifies
+a run bit-for-bit, i.e. it *is* a content address; this package builds the
+machinery that exploits it:
+
+* :mod:`repro.service.cache` -- a two-tier result cache (in-process LRU +
+  persistent JSON-lines store) keyed by that address, storing serialised
+  :class:`~repro.api.RunReport` rows and replaying their certificates on
+  hit;
+* :mod:`repro.service.scheduler` -- an asyncio scheduler with request
+  coalescing (identical in-flight requests share one computation),
+  priority + admission queues and key-sharded dispatch to a
+  ``ProcessPoolExecutor`` worker pool;
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- a
+  stdlib-only JSON-over-HTTP endpoint (``repro serve``: ``POST /solve``,
+  ``GET /report/<key>``, ``/healthz``, ``/stats``) and its thin client.
+
+Quick use (in-process, no HTTP)::
+
+    from repro.service import SolveCache
+    cache = SolveCache()                  # two tiers, default store
+    hit = cache.solve(graph, "power-mis", k=2)
+    hit.report.certificate.ok             # replayed verbatim on a hit
+    hit.hit, hit.tier                     # (True, "memory") the second time
+
+Full stack (HTTP)::
+
+    from repro.service import ServiceClient, ServiceServer
+    with ServiceServer(port=0) as server:
+        client = ServiceClient(server.url)
+        row = client.solve("regular-n24-d3", "power-mis", config={"k": 2})
+"""
+
+from repro.service.cache import (
+    CachedSolve,
+    CacheStats,
+    SolveCache,
+    default_cache_path,
+    solve_key,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    AdmissionError,
+    SolveRequest,
+    SolveResponse,
+    SolveScheduler,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "AdmissionError",
+    "CachedSolve",
+    "CacheStats",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SolveCache",
+    "SolveRequest",
+    "SolveResponse",
+    "SolveScheduler",
+    "default_cache_path",
+    "solve_key",
+]

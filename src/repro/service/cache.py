@@ -1,0 +1,274 @@
+"""The content-addressed solve cache: two tiers behind one ``get``/``put``.
+
+Cache key contract
+------------------
+A solve is identified bit-for-bit by its :class:`~repro.api.SolvePlan` --
+``(graph_fingerprint, algorithm, canonical config, seed)`` -- which is
+exactly what lands in ``RunReport.provenance``.  :func:`solve_key` hashes
+that tuple into a stable hex key, so two requests share a cache entry iff
+``repro.solve`` would produce identical reports for them.  Derived-seed
+requests are cacheable too: the plan derives the same seed from the same
+``(algorithm, config, fingerprint)`` triple, so the key is concrete either
+way, and a cached response's provenance (seed *and* seed policy) is
+identical to what a fresh solve would produce.
+
+Tiers
+-----
+* **memory** -- a bounded LRU of live :class:`RunReport` objects (payload
+  included while the entry lives in memory);
+* **persistent** -- an append-only JSON-lines file under
+  :func:`repro._paths.results_dir` reusing the scenario
+  :class:`~repro.scenarios.store.ResultStore` format with ``cache_key`` as
+  the identity column.  Rows hold :func:`repro.api.report_to_json` objects:
+  everything but ``payload`` round-trips, and the stored certificate is
+  replayed verbatim on a hit (re-verification is a ``replay`` away, and the
+  test suite does exactly that).
+
+Both tiers are guarded by one lock, so the cache is safe under the
+threaded HTTP server and the asyncio scheduler alike.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import networkx as nx
+
+from repro._paths import results_path
+from repro.api import REGISTRY, RunReport, SolvePlan
+from repro.api.serialize import report_from_json, report_to_json
+from repro.hashing.seeds import derive_seed
+from repro.scenarios.store import ResultStore
+
+__all__ = ["CacheStats", "CachedSolve", "SolveCache", "default_cache_path",
+           "key_for_plan", "solve_key"]
+
+
+def default_cache_path() -> str:
+    """``benchmarks/results/solve_cache.jsonl`` (same anchoring as stores)."""
+    return results_path("solve_cache.jsonl")
+
+
+def solve_key(*, algorithm: str, graph_fingerprint: str,
+              config: tuple[tuple[str, Any], ...], seed: int) -> str:
+    """The stable content address of one solve (see module docstring)."""
+    canonical = json.dumps(
+        {"algorithm": algorithm, "fingerprint": graph_fingerprint,
+         "config": [[key, value] for key, value in config], "seed": seed},
+        sort_keys=True, default=str)
+    return format(derive_seed("repro.service.cache", canonical, bits=128),
+                  "032x")
+
+
+def key_for_plan(plan: SolvePlan) -> str:
+    return solve_key(algorithm=plan.algorithm.name,
+                     graph_fingerprint=plan.graph_fingerprint,
+                     config=plan.config, seed=plan.seed)
+
+
+@dataclass
+class CacheStats:
+    """Counters for the ``/stats`` endpoint and the benchmark gate."""
+
+    hits: int = 0
+    memory_hits: int = 0
+    persistent_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "persistent_hits": self.persistent_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class CachedSolve:
+    """One :meth:`SolveCache.solve` outcome: the report plus where it came from."""
+
+    report: RunReport
+    key: str
+    hit: bool
+    tier: str  # "memory", "persistent" or "computed"
+
+
+class SolveCache:
+    """Two-tier (LRU memory + JSON-lines disk) cache of solved RunReports."""
+
+    def __init__(self, path: str | None = None, *,
+                 max_memory_entries: int = 1024,
+                 registry=REGISTRY) -> None:
+        """``path=None`` picks the default store; ``path=""`` disables disk."""
+        if path is None:
+            path = default_cache_path()
+        self.registry = registry
+        self.max_memory_entries = max(1, int(max_memory_entries))
+        self._memory: "OrderedDict[str, RunReport]" = OrderedDict()
+        self._store = ResultStore(path, key_field="cache_key") if path else None
+        # The persistent tier is indexed by byte span, not by row: keeping
+        # every serialised report in process memory would make the LRU
+        # bound illusory for long-lived servers.  A persistent hit seeks
+        # and re-parses its one line.
+        self._persistent_spans: dict[str, tuple[int, int]] = (
+            self._scan_spans())
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def _scan_spans(self) -> dict[str, tuple[int, int]]:
+        """Index the persistent store: ``cache_key -> (offset, length)``.
+
+        Last write wins, corrupt and key-less lines are skipped -- the
+        same semantics as :meth:`ResultStore.load`, without materialising
+        the rows.
+        """
+        spans: dict[str, tuple[int, int]] = {}
+        if self._store is None or not self._store.exists():
+            return spans
+        offset = 0
+        with open(self._store.path, "rb") as handle:
+            for line in handle:
+                length = len(line)
+                try:
+                    row = json.loads(line)
+                    key = row.get("cache_key")
+                except (json.JSONDecodeError, UnicodeDecodeError,
+                        AttributeError):
+                    key = None
+                if isinstance(key, str):
+                    spans[key] = (offset, length)
+                offset += length
+        return spans
+
+    def _read_persistent(self, key: str) -> RunReport | None:
+        """Re-read one row by its span (``None`` on any inconsistency)."""
+        span = self._persistent_spans.get(key)
+        if span is None or self._store is None:
+            return None
+        try:
+            with open(self._store.path, "rb") as handle:
+                handle.seek(span[0])
+                row = json.loads(handle.read(span[1]))
+            return report_from_json(row["report"])
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                KeyError, TypeError, ValueError):
+            # A truncated/replaced file behind our back: treat as a miss.
+            self._persistent_spans.pop(key, None)
+            return None
+
+    @property
+    def path(self) -> str | None:
+        return self._store.path if self._store is not None else None
+
+    # ------------------------------------------------------------- tiers
+    def _memory_put(self, key: str, report: RunReport) -> None:
+        self._memory[key] = report
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def lookup(self, key: str, *, require_certificate: bool = False,
+               ) -> tuple[RunReport | None, str]:
+        """``(report, tier)`` for ``key``; ``(None, "miss")`` when absent.
+
+        A persistent-tier hit is deserialised (payload empty, certificate
+        replayed verbatim) and promoted into the memory tier.
+        ``require_certificate=True`` refuses entries stored by unverified
+        solves, so a verifying caller never inherits an unchecked result.
+        """
+        with self._lock:
+            report = self._memory.get(key)
+            if report is not None and (report.certificate is not None
+                                       or not require_certificate):
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return report, "memory"
+            report = self._read_persistent(key)
+            if report is not None and (report.certificate is not None
+                                       or not require_certificate):
+                self._memory_put(key, report)
+                self.stats.hits += 1
+                self.stats.persistent_hits += 1
+                return report, "persistent"
+            self.stats.misses += 1
+            return None, "miss"
+
+    def get(self, key: str, *, require_certificate: bool = False,
+            ) -> RunReport | None:
+        return self.lookup(key, require_certificate=require_certificate)[0]
+
+    def put(self, key: str, report: RunReport) -> None:
+        """Store a report in both tiers (last write wins on disk)."""
+        with self._lock:
+            self._memory_put(key, report)
+            self.stats.puts += 1
+            if self._store is not None:
+                row = {
+                    "cache_key": key,
+                    "report": json.loads(report_to_json(report)),
+                    "stored_at": round(time.time(), 3),
+                }
+                offset = (os.path.getsize(self._store.path)
+                          if self._store.exists() else 0)
+                self._store.append(row)
+                length = os.path.getsize(self._store.path) - offset
+                self._persistent_spans[key] = (offset, length)
+
+    # ------------------------------------------------------- convenience
+    def solve(self, graph: nx.Graph, problem_or_algorithm, *,
+              seed: int | None = None, verify: bool = True,
+              **config: Any) -> CachedSolve:
+        """``repro.solve`` through the cache.
+
+        Plans the request (deterministic: fingerprint, canonical config,
+        derived seed), serves a stored report when the content address is
+        known, and computes + stores otherwise.  With ``verify=True`` only
+        certified entries count as hits.
+        """
+        plan = self.registry.plan(graph, problem_or_algorithm, seed=seed,
+                                  **config)
+        key = key_for_plan(plan)
+        report, tier = self.lookup(key, require_certificate=verify)
+        if report is not None:
+            return CachedSolve(report=report, key=key, hit=True, tier=tier)
+        report = self.registry.solve(graph, plan.algorithm, seed=seed,
+                                     verify=verify, **plan.config_dict)
+        self.put(key, report)
+        return CachedSolve(report=report, key=key, hit=False, tier="computed")
+
+    # ------------------------------------------------------- maintenance
+    def compact(self) -> tuple[int, int]:
+        """Compact the persistent tier (see :meth:`ResultStore.compact`)."""
+        if self._store is None:
+            return (0, 0)
+        with self._lock:
+            result = self._store.compact()
+            self._persistent_spans = self._scan_spans()  # offsets moved
+            return result
+
+    def __len__(self) -> int:
+        with self._lock:
+            keys = set(self._memory) | set(self._persistent_spans)
+            return len(keys)

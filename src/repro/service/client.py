@@ -1,0 +1,143 @@
+"""A thin stdlib client for the ``repro serve`` endpoint.
+
+``ServiceClient`` speaks the JSON protocol of
+:mod:`repro.service.server` over ``urllib`` -- no dependencies, usable
+from load generators, notebooks and CI scripts alike::
+
+    client = ServiceClient("http://127.0.0.1:8753")
+    client.wait_healthy()
+    row = client.solve("regular-n64-d4", "power-mis", config={"k": 2})
+    row["status"]                      # "hit" / "computed" / "coalesced"
+    row["report"]["provenance"]        # identical to a fresh repro.solve
+    client.stats()["hit_rate"]
+
+``row["report"]`` is the serialised :class:`~repro.api.RunReport`;
+:func:`repro.api.report_from_json` turns it back into the typed object.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from typing import Any, Mapping
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level error from the service (carries the status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for one ``repro serve`` endpoint.
+
+    Connections are persistent (HTTP/1.1 keep-alive) and per-thread, so a
+    closed-loop load-generator thread pays the TCP handshake once, not per
+    request; a dropped connection is re-opened and the request retried once.
+    The client is safe to share across threads.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"expected an http://host:port URL, "
+                             f"got {base_url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._prefix = parsed.path.rstrip("/")
+        self._local = threading.local()
+
+    # ------------------------------------------------------------ plumbing
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout)
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+        self._local.connection = None
+
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._connection()
+            try:
+                connection.request(method, self._prefix + path, body=data,
+                                   headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except (http.client.HTTPException, OSError):
+                # Stale keep-alive or a restarted server: reconnect once.
+                self._drop_connection()
+                if attempt:
+                    raise
+                continue
+            if response.status >= 400:
+                try:
+                    message = json.loads(payload.decode("utf-8")).get("error", "")
+                except Exception:  # noqa: BLE001 - non-JSON error body
+                    message = response.reason
+                raise ServiceError(response.status, str(message))
+            return json.loads(payload.decode("utf-8"))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ----------------------------------------------------------- endpoints
+    def solve(self, workload: str, algorithm: str, *,
+              config: Mapping[str, Any] | None = None, graph_seed: int = 0,
+              seed: int | None = None, verify: bool = True,
+              priority: int = 10) -> dict[str, Any]:
+        """POST one solve; returns the serving row (status, key, report)."""
+        return self._request("POST", "/solve", {
+            "workload": workload,
+            "algorithm": algorithm,
+            "config": dict(config or {}),
+            "graph_seed": graph_seed,
+            "seed": seed,
+            "verify": verify,
+            "priority": priority,
+        })
+
+    def report(self, key: str) -> dict[str, Any]:
+        """GET a cached report by its content address (404 -> ServiceError)."""
+        return self._request("GET", f"/report/{key}")
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def wait_healthy(self, *, deadline_s: float = 30.0,
+                     interval_s: float = 0.1) -> dict[str, Any]:
+        """Poll ``/healthz`` until it answers (for freshly-booted servers)."""
+        deadline = time.monotonic() + deadline_s
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ServiceError, OSError, http.client.HTTPException) as error:
+                last_error = error
+                time.sleep(interval_s)
+        raise TimeoutError(
+            f"service at {self.base_url} not healthy after {deadline_s}s "
+            f"(last error: {last_error})")

@@ -1,0 +1,403 @@
+"""The async request scheduler: coalesce, admit, shard, dispatch.
+
+Request model
+-------------
+A :class:`SolveRequest` names a *workload* (a scenario-registry graph cell
+such as ``regular-n64-d4``, or a family name resolved to its first cell)
+plus the algorithm, typed config and optional explicit seed -- the same
+vocabulary as ``repro solve``.  Workloads are registry-built from an
+explicit ``graph_seed``, so a request is pure data: any worker process can
+rebuild the identical graph, and the request's content address (the
+:class:`~repro.api.SolvePlan` key) is computable before any work happens.
+
+Pipeline (``submit``)
+---------------------
+1. **Plan** -- build (memoized) the workload graph in-process, resolve the
+   algorithm/config/seed to a :class:`SolvePlan` and its cache key.
+2. **Cache** -- a key already in the two-tier cache is answered
+   immediately (``status="hit"``).
+3. **Coalesce** -- a key already *in flight* attaches to the existing
+   future (``status="coalesced"``): identical concurrent requests share
+   one computation, the classic thundering-herd guard.
+4. **Admit** -- beyond ``max_pending`` queued jobs the request is refused
+   with :class:`AdmissionError` (HTTP 429 at the server), keeping latency
+   bounded under overload instead of queueing unboundedly.
+5. **Dispatch** -- the job enters the priority queue of shard
+   ``hash(key) % shards``; each shard has one consumer task feeding its own
+   single-worker ``ProcessPoolExecutor``, so a given content address always
+   lands on the same worker (deterministic placement, warm per-worker
+   state) and distinct shards run genuinely in parallel.  Lower ``priority``
+   values run first within a shard; FIFO breaks ties.
+
+Workers return the *serialised* report (``repro.api.report_to_json``), not
+the live object -- payloads never cross the process boundary, mirroring the
+persistent cache tier.  The request's ``seed`` is forwarded verbatim
+(``None`` stays ``None``), so a worker re-derives the same seed/policy the
+plan predicted and cached provenance is identical to a fresh
+``repro.solve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import networkx as nx
+
+from repro.api import REGISTRY, RunReport
+from repro.api.serialize import report_from_json, report_to_json
+from repro.service.cache import SolveCache, key_for_plan
+
+__all__ = ["AdmissionError", "SolveRequest", "SolveResponse", "SolveScheduler",
+           "resolve_workload"]
+
+
+class AdmissionError(RuntimeError):
+    """Raised when the scheduler's pending queues are full (backpressure)."""
+
+
+def resolve_workload(workload: str) -> str:
+    """Map a cell or family name to the concrete registry cell name."""
+    from repro.scenarios.registry import DEFAULT_REGISTRY
+
+    try:
+        return DEFAULT_REGISTRY.cell(workload).name
+    except KeyError:
+        cells = sorted(DEFAULT_REGISTRY.cells(family=workload),
+                       key=lambda cell: cell.name)
+        if not cells:
+            known = ", ".join(sorted(c.name for c in DEFAULT_REGISTRY.cells()))
+            raise KeyError(f"unknown workload {workload!r}: not a registry "
+                           f"cell or family (cells: {known})") from None
+        return cells[0].name
+
+
+def build_workload(cell: str, *, graph_seed: int) -> nx.Graph:
+    from repro.scenarios.registry import DEFAULT_REGISTRY
+
+    return DEFAULT_REGISTRY.build_cell(cell, seed=graph_seed)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One serveable solve: pure data, rebuildable in any worker process."""
+
+    workload: str
+    algorithm: str
+    graph_seed: int = 0
+    seed: int | None = None
+    config: tuple[tuple[str, Any], ...] = ()
+    verify: bool = True
+    #: Lower runs first within a shard; ties are FIFO.
+    priority: int = 10
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "SolveRequest":
+        """Parse + validate a JSON request body (unknown keys rejected)."""
+        allowed = {"workload", "algorithm", "graph_seed", "seed", "config",
+                   "verify", "priority"}
+        unknown = set(obj) - allowed
+        if unknown:
+            raise ValueError(f"unknown request fields {sorted(unknown)}; "
+                             f"accepted: {sorted(allowed)}")
+        for required in ("workload", "algorithm"):
+            if not obj.get(required):
+                raise ValueError(f"request field {required!r} is required")
+        config = obj.get("config") or {}
+        if not isinstance(config, Mapping):
+            raise ValueError("request field 'config' must be an object")
+        seed = obj.get("seed")
+        return cls(
+            workload=str(obj["workload"]),
+            algorithm=str(obj["algorithm"]),
+            graph_seed=int(obj.get("graph_seed", 0)),
+            seed=None if seed is None else int(seed),
+            config=tuple(sorted(config.items())),
+            verify=bool(obj.get("verify", True)),
+            priority=int(obj.get("priority", 10)),
+        )
+
+    @property
+    def config_dict(self) -> dict[str, Any]:
+        return dict(self.config)
+
+
+@dataclass
+class SolveResponse:
+    """What ``submit`` resolves to: the report plus serving metadata."""
+
+    report: RunReport
+    key: str
+    status: str  # "hit", "computed" or "coalesced"
+    cell: str
+    latency_s: float = 0.0
+
+    def to_row(self) -> dict[str, Any]:
+        import json
+
+        row = {
+            "key": self.key,
+            "status": self.status,
+            "cached": self.status == "hit",
+            "cell": self.cell,
+            "latency_s": round(self.latency_s, 6),
+            "report": json.loads(report_to_json(self.report)),
+        }
+        return row
+
+
+def _worker_solve(workload: str, graph_seed: int, algorithm: str,
+                  config: dict[str, Any], seed: int | None,
+                  verify: bool) -> str:
+    """Worker-process entry point: rebuild the graph, solve, serialise.
+
+    ``seed`` is forwarded verbatim so the worker re-derives exactly the
+    seed/policy the scheduler's plan predicted -- cached provenance is
+    indistinguishable from a fresh in-process ``repro.solve``.
+    """
+    graph = build_workload(workload, graph_seed=graph_seed)
+    report = REGISTRY.solve(graph, algorithm, seed=seed, verify=verify,
+                            **config)
+    return report_to_json(report)
+
+
+@dataclass
+class _Job:
+    """One queued computation (shared by every coalesced request)."""
+
+    request: SolveRequest
+    cell: str
+    key: str
+    future: "asyncio.Future[RunReport]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class SolveScheduler:
+    """Coalescing, admission-controlled, sharded dispatch over workers."""
+
+    def __init__(self, *, cache: SolveCache | None = None,
+                 shards: int | None = None, max_pending: int = 256,
+                 inline: bool = False,
+                 graph_memo_entries: int = 64) -> None:
+        """``inline=True`` executes jobs on threads in-process (no worker
+        pool) -- used by tests and constrained CI environments; the shard
+        queues, coalescing and admission behave identically.
+
+        The scheduler always resolves against the default
+        :data:`repro.api.REGISTRY`: worker processes rebuild it on import
+        (the same constraint the scenario runner's pool has), so a custom
+        registry would let the planned content address and the executed
+        solve disagree.
+        """
+        self.cache = cache if cache is not None else SolveCache()
+        self.registry = REGISTRY
+        self.shards = max(1, shards if shards is not None
+                          else min(4, os.cpu_count() or 1))
+        self.max_pending = max(1, int(max_pending))
+        self.inline = inline
+        self._graph_memo: "dict[tuple[str, int], nx.Graph]" = {}
+        self._graph_memo_order: deque[tuple[str, int]] = deque()
+        self._graph_memo_entries = max(1, graph_memo_entries)
+        self._memo_lock = threading.Lock()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queues: list[asyncio.PriorityQueue] = []
+        self._consumers: list[asyncio.Task] = []
+        self._executors: list[Executor] = []
+        self._seq = itertools.count()
+        self._pending = 0
+        self._started = False
+        self.counters: dict[str, int] = {
+            "requests": 0, "hits": 0, "computed": 0, "coalesced": 0,
+            "rejected": 0, "errors": 0,
+        }
+        self.latencies_s: deque[float] = deque(maxlen=4096)
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for shard in range(self.shards):
+            queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+            self._queues.append(queue)
+            if self.inline:
+                executor: Executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard{shard}")
+            else:
+                executor = ProcessPoolExecutor(max_workers=1)
+            self._executors.append(executor)
+            self._consumers.append(
+                asyncio.create_task(self._consume(shard), name=f"shard-{shard}"))
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        for task in self._consumers:
+            task.cancel()
+        for task in self._consumers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        for executor in self._executors:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self._consumers.clear()
+        self._executors.clear()
+        self._queues.clear()
+
+    # ------------------------------------------------------------- serving
+    def _workload_graph(self, cell: str, graph_seed: int) -> nx.Graph:
+        memo_key = (cell, graph_seed)
+        with self._memo_lock:
+            graph = self._graph_memo.get(memo_key)
+        if graph is None:
+            graph = build_workload(cell, graph_seed=graph_seed)
+            with self._memo_lock:
+                self._graph_memo[memo_key] = graph
+                self._graph_memo_order.append(memo_key)
+                while len(self._graph_memo_order) > self._graph_memo_entries:
+                    evicted = self._graph_memo_order.popleft()
+                    self._graph_memo.pop(evicted, None)
+        return graph
+
+    def _plan_request(self, request: SolveRequest) -> tuple[str, str]:
+        """Resolve workload -> graph -> content address (thread-side).
+
+        Building an unmemoized graph and fingerprinting it sorts every
+        node and edge -- too slow for the event loop, where it would stall
+        concurrent requests (including microsecond cache hits) behind one
+        large cell.  ``submit`` runs this in an executor thread.
+        """
+        cell = resolve_workload(request.workload)
+        graph = self._workload_graph(cell, request.graph_seed)
+        plan = self.registry.plan(graph, request.algorithm, seed=request.seed,
+                                  **request.config_dict)
+        return cell, key_for_plan(plan)
+
+    async def submit(self, request: SolveRequest) -> SolveResponse:
+        """Serve one request (see the module docstring for the pipeline)."""
+        start = time.perf_counter()
+        self.counters["requests"] += 1
+        loop = asyncio.get_running_loop()
+        cell, key = await loop.run_in_executor(None, self._plan_request,
+                                               request)
+
+        report = self.cache.get(key, require_certificate=request.verify)
+        if report is not None:
+            self.counters["hits"] += 1
+            return self._respond(report, key, "hit", cell, start)
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.counters["coalesced"] += 1
+            report = await asyncio.shield(existing)
+            return self._respond(report, key, "coalesced", cell, start)
+
+        if not self._started:
+            await self.start()
+        if self._pending >= self.max_pending:
+            self.counters["rejected"] += 1
+            raise AdmissionError(
+                f"scheduler saturated: {self._pending} pending jobs "
+                f"(max_pending={self.max_pending})")
+
+        future: asyncio.Future = loop.create_future()
+        job = _Job(request=request, cell=cell, key=key, future=future)
+        self._inflight[key] = future
+        # The in-flight entry lives exactly as long as the *job*: a
+        # submitter cancelled mid-await (e.g. wait_for timeout) must not
+        # tear it down while the computation still runs, or an identical
+        # retry would enqueue a duplicate instead of coalescing.  The
+        # callback also retrieves an orphaned job's exception so asyncio
+        # never logs "exception was never retrieved".
+        future.add_done_callback(self._retire_inflight(key))
+        self._pending += 1
+        shard = int(key, 16) % self.shards
+        await self._queues[shard].put(
+            (request.priority, next(self._seq), job))
+        report = await asyncio.shield(future)
+        self.counters["computed"] += 1
+        return self._respond(report, key, "computed", cell, start)
+
+    def _retire_inflight(self, key: str):
+        def callback(future: asyncio.Future) -> None:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+            if not future.cancelled():
+                future.exception()  # mark retrieved (orphaned submitters)
+
+        return callback
+
+    def _respond(self, report: RunReport, key: str, status: str, cell: str,
+                 start: float) -> SolveResponse:
+        latency = time.perf_counter() - start
+        self.latencies_s.append(latency)
+        return SolveResponse(report=report, key=key, status=status, cell=cell,
+                             latency_s=latency)
+
+    async def _consume(self, shard: int) -> None:
+        queue = self._queues[shard]
+        executor = self._executors[shard]
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, job = await queue.get()
+            try:
+                request = job.request
+                serialized = await loop.run_in_executor(
+                    executor, _worker_solve, job.cell, request.graph_seed,
+                    request.algorithm, request.config_dict, request.seed,
+                    request.verify)
+                report = report_from_json(serialized)
+                self.cache.put(job.key, report)
+                if not job.future.done():
+                    job.future.set_result(report)
+            except asyncio.CancelledError:
+                if not job.future.done():
+                    job.future.cancel()
+                raise
+            except Exception as error:  # noqa: BLE001 - surfaced per-request
+                self.counters["errors"] += 1
+                if not job.future.done():
+                    job.future.set_exception(error)
+            finally:
+                self._pending -= 1
+                queue.task_done()
+
+    # --------------------------------------------------------------- stats
+    def _percentile(self, values: list[float], q: float) -> float:
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, max(0, round(q * (len(values) - 1))))
+        return values[index]
+
+    def stats_row(self) -> dict[str, Any]:
+        """The ``/stats`` document: counters, hit rate, latency percentiles."""
+        values = sorted(self.latencies_s)
+        requests = self.counters["requests"]
+        served_from_cache = self.counters["hits"]
+        return {
+            "requests": requests,
+            "hits": served_from_cache,
+            "computed": self.counters["computed"],
+            "coalesced": self.counters["coalesced"],
+            "rejected": self.counters["rejected"],
+            "errors": self.counters["errors"],
+            "hit_rate": round(served_from_cache / requests, 4) if requests else 0.0,
+            "pending": self._pending,
+            "shards": self.shards,
+            "inline_workers": self.inline,
+            "latency_ms": {
+                "count": len(values),
+                "p50": round(1e3 * self._percentile(values, 0.50), 3),
+                "p90": round(1e3 * self._percentile(values, 0.90), 3),
+                "p99": round(1e3 * self._percentile(values, 0.99), 3),
+            },
+            "cache": self.cache.stats.to_row(),
+        }

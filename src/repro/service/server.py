@@ -1,0 +1,282 @@
+"""Stdlib JSON-over-HTTP serving: ``repro serve``.
+
+The server is two threads of machinery around the scheduler:
+
+* a dedicated **asyncio loop thread** runs the
+  :class:`~repro.service.scheduler.SolveScheduler` (coalescing, shard
+  queues, worker dispatch);
+* a ``ThreadingHTTPServer`` accepts connections and bridges each request
+  into the loop with ``asyncio.run_coroutine_threadsafe`` -- no third-party
+  framework, stdlib only.
+
+Endpoints
+---------
+``POST /solve``
+    Body: ``{"workload": "regular-n64-d4", "algorithm": "power-mis",
+    "config": {"k": 2}, "graph_seed": 0, "seed": null, "verify": true,
+    "priority": 10}``.  Response: the serving metadata (``key``,
+    ``status`` of ``hit``/``computed``/``coalesced``, ``latency_s``) plus
+    the full serialised ``RunReport``.  400 on malformed requests, 429
+    when admission control refuses, 500 on solver faults.
+``GET /report/<key>``
+    The cached report for a content address (404 when unknown).
+``GET /healthz``
+    Liveness: ``{"ok": true, "uptime_s": ...}``.
+``GET /stats``
+    Scheduler counters, cache hit rate and latency percentiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Sequence
+
+from repro.api.serialize import report_to_json
+from repro.service.cache import SolveCache, default_cache_path
+from repro.service.scheduler import AdmissionError, SolveRequest, SolveScheduler
+
+__all__ = ["ServiceServer", "add_serve_arguments", "main", "serve"]
+
+#: How long one HTTP request waits for its solve before giving up (seconds).
+_REQUEST_TIMEOUT_S = 600.0
+
+
+class ServiceServer:
+    """The scheduler + its loop thread + the HTTP front end."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 scheduler: SolveScheduler | None = None,
+                 quiet: bool = True) -> None:
+        self.scheduler = scheduler if scheduler is not None else SolveScheduler()
+        self.started_at = time.monotonic()
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="repro-service-loop", daemon=True)
+        handler = _make_handler(self, quiet=quiet)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+
+    # ----------------------------------------------------------- lifecycle
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self) -> None:
+        """Start the loop thread, the scheduler and the HTTP acceptor."""
+        self._loop_thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.scheduler.start(), self._loop).result(timeout=30)
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http",
+            daemon=True)
+        self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        """Foreground serving (the ``repro serve`` path)."""
+        self._loop_thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.scheduler.start(), self._loop).result(timeout=30)
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        future = asyncio.run_coroutine_threadsafe(
+            self.scheduler.stop(), self._loop)
+        try:
+            future.result(timeout=30)
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(timeout=10)
+
+    # ------------------------------------------------------------- bridges
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def submit(self, request: SolveRequest,
+               timeout: float = _REQUEST_TIMEOUT_S):
+        """Run one request on the scheduler loop (thread-safe)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.scheduler.submit(request), self._loop)
+        return future.result(timeout=timeout)
+
+    def stats_row(self) -> dict[str, Any]:
+        row = self.scheduler.stats_row()
+        row["uptime_s"] = round(time.monotonic() - self.started_at, 3)
+        return row
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _make_handler(service: ServiceServer, *, quiet: bool):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        #: Small request/response pairs ping-pong on one connection; Nagle
+        #: only adds latency there.
+        disable_nagle_algorithm = True
+
+        def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+            if not quiet:
+                super().log_message(fmt, *args)
+
+        # ----------------------------------------------------------- util
+        def _send_json(self, status: int, obj: dict[str, Any]) -> None:
+            body = json.dumps(obj, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        # ------------------------------------------------------- endpoints
+        def do_GET(self) -> None:  # noqa: N802 - http.server contract
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._send_json(200, {
+                    "ok": True,
+                    "uptime_s": round(
+                        time.monotonic() - service.started_at, 3),
+                })
+            elif path == "/stats":
+                self._send_json(200, service.stats_row())
+            elif path.startswith("/report/"):
+                key = path[len("/report/"):]
+                report = service.scheduler.cache.get(key)
+                if report is None:
+                    self._send_error_json(404, f"unknown report key {key!r}")
+                else:
+                    self._send_json(200, {
+                        "key": key,
+                        "report": json.loads(report_to_json(report)),
+                    })
+            else:
+                self._send_error_json(404, f"unknown path {self.path!r}")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server contract
+            # Drain the body first, whatever the path: leaving unread bytes
+            # on a keep-alive connection desynchronises the next request.
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length)
+            except (ValueError, OSError) as error:
+                self.close_connection = True
+                self._send_error_json(400, str(error))
+                return
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/solve":
+                self._send_error_json(404, f"unknown path {self.path!r}")
+                return
+            try:
+                obj = json.loads(body or b"{}")
+                request = SolveRequest.from_obj(obj)
+            except (ValueError, TypeError, json.JSONDecodeError) as error:
+                self._send_error_json(400, str(error))
+                return
+            try:
+                response = service.submit(request)
+            except AdmissionError as error:
+                self._send_error_json(429, str(error))
+                return
+            except (KeyError, TypeError, ValueError) as error:
+                # Unknown workload/algorithm or a bad typed config.
+                message = error.args[0] if error.args else error
+                self._send_error_json(400, str(message))
+                return
+            except Exception as error:  # noqa: BLE001 - solver fault
+                self._send_error_json(
+                    500, f"{type(error).__name__}: {error}")
+                return
+            self._send_json(200, response.to_row())
+
+    return Handler
+
+
+# ---------------------------------------------------------------------------
+# ``repro serve``
+# ---------------------------------------------------------------------------
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8753,
+                        help="TCP port; 0 picks an ephemeral port")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound port to this file (for CI "
+                             "scripts using --port 0)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="worker shards (default: min(4, cpu count))")
+    parser.add_argument("--inline-workers", action="store_true",
+                        help="run solves on in-process threads instead of "
+                             "a process pool (tests / constrained CI)")
+    parser.add_argument("--max-pending", type=int, default=256,
+                        help="admission limit on queued jobs (429 beyond)")
+    parser.add_argument("--cache-path", default=None,
+                        help=f"persistent cache store "
+                             f"(default: {default_cache_path()})")
+    parser.add_argument("--no-persist", action="store_true",
+                        help="disable the persistent cache tier")
+    parser.add_argument("--memory-entries", type=int, default=1024,
+                        help="in-process LRU capacity (reports)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+
+
+def serve(args: argparse.Namespace) -> int:
+    cache = SolveCache(
+        "" if args.no_persist else args.cache_path,
+        max_memory_entries=args.memory_entries)
+    scheduler = SolveScheduler(cache=cache, shards=args.shards,
+                               max_pending=args.max_pending,
+                               inline=args.inline_workers)
+    server = ServiceServer(host=args.host, port=args.port,
+                           scheduler=scheduler, quiet=not args.verbose)
+    host, port = server.address
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+    print(f"[repro.service] serving on http://{host}:{port} "
+          f"(shards={scheduler.shards}, "
+          f"workers={'inline' if scheduler.inline else 'process-pool'}, "
+          f"cache={cache.path or 'memory-only'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve repro.solve over JSON/HTTP with a "
+                    "content-addressed cache.")
+    add_serve_arguments(parser)
+    return serve(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

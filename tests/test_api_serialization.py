@@ -1,0 +1,144 @@
+"""RunReport / Provenance JSON round-trip (``repro.api.serialize``).
+
+The service layer's persistent cache tier stores serialised reports and
+must hand back objects indistinguishable from the originals (payload
+excepted, by contract).  These tests pin the tagged node encoding --
+including the non-integer labels the graph generators produce -- and the
+bit-for-bit replayability of deserialised provenance blocks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.api import (
+    Provenance,
+    report_from_json,
+    report_to_json,
+    solve,
+)
+from repro.api.serialize import decode_node, encode_node
+from repro.graphs.generators import disconnected_union
+
+
+def _assert_round_trip(report) -> None:
+    restored = report_from_json(report_to_json(report))
+    assert restored.output == report.output
+    assert restored.rounds == report.rounds
+    assert restored.metrics == report.metrics
+    assert restored.provenance == report.provenance
+    assert restored.payload == {}  # live objects are never serialised
+    assert (restored.certificate is None) == (report.certificate is None)
+    if report.certificate is not None:
+        assert restored.certificate.problem == report.certificate.problem
+        assert restored.certificate.ok == report.certificate.ok
+        assert restored.certificate.checks == report.certificate.checks
+
+
+class TestNodeEncoding:
+    def test_scalars_pass_through(self):
+        for node in (0, -3, 7.5, "a", "", True, False, None):
+            assert decode_node(encode_node(node)) == node
+
+    def test_bool_and_int_stay_distinct(self):
+        assert encode_node(True) is True
+        assert encode_node(1) == 1
+        assert decode_node(encode_node(True)) is True
+
+    def test_str_and_int_stay_distinct(self):
+        assert decode_node(encode_node("5")) == "5"
+        assert decode_node(encode_node(5)) == 5
+
+    def test_tuples_round_trip_as_tuples(self):
+        for node in ((0, 1), ("a", 2), (1, (2, "b")), ()):
+            restored = decode_node(encode_node(node))
+            assert restored == node
+            assert isinstance(restored, tuple)
+
+    def test_tuple_encoding_survives_json(self):
+        node = (3, ("x", 4))
+        via_json = json.loads(json.dumps(encode_node(node)))
+        assert decode_node(via_json) == node
+
+    def test_unsupported_label_is_loud(self):
+        with pytest.raises(TypeError, match="not\\s+JSON-serialisable"):
+            encode_node(frozenset({1}))
+
+
+class TestReportRoundTrip:
+    def test_integer_labels(self, small_regular_graph):
+        report = solve(small_regular_graph, "power-mis", k=2, seed=3)
+        _assert_round_trip(report)
+
+    def test_tuple_labels(self):
+        base = nx.grid_2d_graph(5, 4)  # nodes are (row, col) tuples
+        assert all(isinstance(node, tuple) for node in base.nodes())
+        report = solve(base, "det-power-ruling", k=2, seed=1)
+        _assert_round_trip(report)
+
+    def test_mixed_labels(self):
+        # Deliberately mixed label types on one graph (str, int and tuple),
+        # the shape the adversarial families are allowed to produce.
+        graph = disconnected_union(n=12, components=2, seed=5)
+        graph = nx.relabel_nodes(
+            graph, {node: (f"s{node}" if node % 3 == 0 else
+                           ((node, "t") if node % 3 == 1 else node))
+                    for node in graph.nodes()})
+        assert {type(node).__name__
+                for node in graph.nodes()} == {"str", "int", "tuple"}
+        report = solve(graph, "power-mis", k=2, seed=2)
+        _assert_round_trip(report)
+
+    def test_string_relabelled_graph(self, small_regular_graph):
+        graph = nx.relabel_nodes(small_regular_graph,
+                                 {node: f"v{node}" for node in
+                                  small_regular_graph.nodes()})
+        report = solve(graph, "luby-power", k=2, seed=4)
+        _assert_round_trip(report)
+
+    def test_unverified_report_round_trips_without_certificate(
+            self, small_regular_graph):
+        report = solve(small_regular_graph, "power-mis", k=2, seed=3,
+                       verify=False)
+        assert report.certificate is None
+        _assert_round_trip(report)
+
+    def test_serialised_line_is_plain_json(self, small_regular_graph):
+        report = solve(small_regular_graph, "power-mis", k=2, seed=3)
+        obj = json.loads(report_to_json(report))
+        assert set(obj) == {"output", "rounds", "metrics", "provenance",
+                            "certificate"}
+
+    def test_derived_seed_policy_survives(self, small_regular_graph):
+        report = solve(small_regular_graph, "power-mis", k=2)
+        restored = report_from_json(report_to_json(report))
+        assert restored.provenance.seed_policy == "derived"
+        assert restored.provenance.seed == report.provenance.seed
+
+
+class TestProvenanceRow:
+    def test_from_row_inverts_to_row(self, small_regular_graph):
+        provenance = solve(small_regular_graph, "power-ruling", k=2, beta=2,
+                           seed=9).provenance
+        assert Provenance.from_row(provenance.to_row()) == provenance
+
+    def test_from_row_recanonicalises_config(self):
+        row = {
+            "algorithm": "power-mis", "problem": "mis-power",
+            "config": {"k": 2}, "seed": 5, "seed_policy": "explicit",
+            "graph_fingerprint": "abc", "n": 10, "m": 20,
+        }
+        provenance = Provenance.from_row(row)
+        assert provenance.config == (("k", 2),)
+
+    def test_replay_of_deserialised_provenance(self, small_regular_graph):
+        report = solve(small_regular_graph, "power-mis", k=2, seed=11)
+        restored = report_from_json(report_to_json(report))
+        replayed = repro.replay(small_regular_graph, restored.provenance)
+        assert replayed.output == report.output
+        assert replayed.rounds == report.rounds
+        assert replayed.provenance == report.provenance

@@ -1,0 +1,142 @@
+"""Result-dir anchoring (``repro._paths``), store compaction and the
+runner's ``--cache`` path through the service tier."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import _paths
+from repro.scenarios.cli import main as scenarios_cli
+from repro.scenarios.registry import DEFAULT_REGISTRY
+from repro.scenarios.runner import run_batch
+from repro.scenarios.store import ResultStore, default_store_path
+
+
+class TestResultsDir:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "elsewhere"))
+        assert _paths.results_dir() == str(tmp_path / "elsewhere")
+        assert default_store_path() == str(
+            tmp_path / "elsewhere" / "scenarios.jsonl")
+
+    def test_source_tree_anchoring(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        root = _paths.repo_root()
+        assert root is not None
+        assert os.path.isdir(os.path.join(root, "benchmarks"))
+        assert _paths.results_dir() == os.path.join(root, "benchmarks",
+                                                    "results")
+        # Anchored, therefore independent of the working directory.
+        assert os.path.isabs(default_store_path())
+
+    def test_results_path_creates_parent_on_demand(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "deep"))
+        path = _paths.results_path("sub", "file.json", create=True)
+        assert os.path.isdir(os.path.dirname(path))
+        assert not os.path.exists(path)  # only the parent is created
+
+
+class TestCompact:
+    def _store_with_history(self, tmp_path) -> ResultStore:
+        store = ResultStore(str(tmp_path / "rows.jsonl"))
+        store.append({"cell_key": "a", "value": 1})
+        store.append({"cell_key": "b", "value": 1})
+        store.append({"cell_key": "a", "value": 2})  # supersedes
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write("{corrupt\n")          # killed-worker debris
+            handle.write('{"no_key": true}\n')  # key-less row
+        return store
+
+    def test_compact_keeps_last_write_wins(self, tmp_path):
+        store = self._store_with_history(tmp_path)
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (2, 3)
+        rows = store.load()
+        assert rows["a"]["value"] == 2
+        with open(store.path, encoding="utf-8") as handle:
+            assert sum(1 for line in handle if line.strip()) == 2
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = self._store_with_history(tmp_path)
+        store.compact()
+        assert store.compact() == (2, 0)
+
+    def test_compact_missing_store(self, tmp_path):
+        assert ResultStore(str(tmp_path / "absent.jsonl")).compact() == (0, 0)
+
+    def test_custom_key_field(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache.jsonl"),
+                            key_field="cache_key")
+        store.append({"cache_key": "x", "value": 1})
+        store.append({"cache_key": "x", "value": 2})
+        assert store.compact() == (1, 1)
+        assert store.load()["x"]["value"] == 2
+
+    def test_cli_compact(self, tmp_path, capsys):
+        store = self._store_with_history(tmp_path)
+        cache = ResultStore(str(tmp_path / "cache.jsonl"),
+                            key_field="cache_key")
+        cache.append({"cache_key": "x", "value": 1})
+        cache.append({"cache_key": "x", "value": 2})
+        exit_code = scenarios_cli(["compact", "--store", store.path,
+                                   "--cache", cache.path])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "kept 2, dropped 3" in out
+        assert "kept 1, dropped 1" in out
+        assert len(store.load()) == 2
+        assert len(cache.load()) == 1
+
+
+class TestRunnerSolveCache:
+    def _smoke_pair(self):
+        return DEFAULT_REGISTRY.select(names=[
+            "regular-n24-d3/power-mis-k2",
+            "er-n20/det-power-ruling-k2",
+        ])
+
+    def test_cache_path_serves_second_batch(self, tmp_path):
+        scenarios = self._smoke_pair()
+        assert len(scenarios) == 2
+        cache_path = str(tmp_path / "solve_cache.jsonl")
+        first = run_batch(scenarios, store_path="", resume=False,
+                          solve_cache_path=cache_path)
+        assert first.ok
+        assert all(row["solve_cache_hit"] is False for row in first.rows)
+
+        second = run_batch(scenarios, store_path="", resume=False,
+                           solve_cache_path=cache_path)
+        assert second.ok
+        assert all(row["solve_cache_hit"] is True for row in second.rows)
+        assert all(row["solve_cache_tier"] == "persistent"
+                   for row in second.rows)
+        # The replayed certificate is the row's verdict.
+        assert all(row["checks"] > 0 for row in second.rows)
+
+    def test_cached_rows_match_direct_rows(self, tmp_path):
+        scenarios = self._smoke_pair()
+        direct = run_batch(scenarios, store_path="", resume=False)
+        cached = run_batch(scenarios, store_path="", resume=False,
+                           solve_cache_path=str(tmp_path / "c.jsonl"))
+        for direct_row, cached_row in zip(direct.rows, cached.rows):
+            assert cached_row["cell_key"] == direct_row["cell_key"]
+            assert cached_row["rounds"] == direct_row["rounds"]
+            assert cached_row["output_size"] == direct_row["output_size"]
+            assert cached_row["ok"] is direct_row["ok"] is True
+
+    def test_memory_only_cache(self):
+        scenarios = self._smoke_pair()[:1]
+        summary = run_batch(scenarios, store_path="", resume=False,
+                            solve_cache_path="")
+        assert summary.ok
+        assert summary.rows[0]["solve_cache_hit"] is False
+
+    def test_rows_stay_json_serialisable(self, tmp_path):
+        summary = run_batch(self._smoke_pair(), store_path="", resume=False,
+                            solve_cache_path=str(tmp_path / "c.jsonl"))
+        for row in summary.rows:
+            json.dumps(row)

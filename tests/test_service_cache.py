@@ -1,0 +1,187 @@
+"""The two-tier content-addressed solve cache (``repro.service.cache``)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.api import REGISTRY, graph_fingerprint, invalidate_fingerprint, solve
+from repro.api.report import _FINGERPRINT_MEMO
+from repro.service.cache import SolveCache, key_for_plan, solve_key
+
+
+@pytest.fixture
+def graph() -> nx.Graph:
+    return nx.random_regular_graph(3, 24, seed=2)
+
+
+class TestSolveKey:
+    def test_stable_across_calls(self, graph):
+        plan = REGISTRY.plan(graph, "power-mis", k=2, seed=5)
+        assert key_for_plan(plan) == key_for_plan(plan)
+
+    def test_sensitive_to_every_component(self, graph):
+        base = solve_key(algorithm="power-mis", graph_fingerprint="f" * 16,
+                         config=(("k", 2),), seed=5)
+        assert base != solve_key(algorithm="luby-power",
+                                 graph_fingerprint="f" * 16,
+                                 config=(("k", 2),), seed=5)
+        assert base != solve_key(algorithm="power-mis",
+                                 graph_fingerprint="0" * 16,
+                                 config=(("k", 2),), seed=5)
+        assert base != solve_key(algorithm="power-mis",
+                                 graph_fingerprint="f" * 16,
+                                 config=(("k", 3),), seed=5)
+        assert base != solve_key(algorithm="power-mis",
+                                 graph_fingerprint="f" * 16,
+                                 config=(("k", 2),), seed=6)
+
+    def test_derived_and_explicit_seed_share_address(self, graph):
+        """A derived-seed plan keys the same entry as pinning that seed."""
+        derived = REGISTRY.plan(graph, "power-mis", k=2)
+        pinned = REGISTRY.plan(graph, "power-mis", k=2, seed=derived.seed)
+        assert key_for_plan(derived) == key_for_plan(pinned)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, graph):
+        cache = SolveCache("")
+        first = cache.solve(graph, "power-mis", k=2, seed=5)
+        second = cache.solve(graph, "power-mis", k=2, seed=5)
+        assert not first.hit and first.tier == "computed"
+        assert second.hit and second.tier == "memory"
+        assert second.report.output == first.report.output
+        assert second.report.provenance == first.report.provenance
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_distinct_configs_are_distinct_entries(self, graph):
+        cache = SolveCache("")
+        cache.solve(graph, "power-mis", k=1, seed=5)
+        other = cache.solve(graph, "power-mis", k=2, seed=5)
+        assert not other.hit
+
+    def test_lru_eviction(self, graph):
+        cache = SolveCache("", max_memory_entries=2)
+        for seed in (1, 2, 3):
+            cache.solve(graph, "power-mis", k=2, seed=seed)
+        assert cache.stats.evictions == 1
+        # Seed 1 was evicted (memory-only cache: a genuine miss recomputes).
+        assert not cache.solve(graph, "power-mis", k=2, seed=1).hit
+        # Seed 3 is still resident.
+        assert cache.solve(graph, "power-mis", k=2, seed=3).hit
+
+    def test_unverified_entry_never_serves_verifying_request(self, graph):
+        cache = SolveCache("")
+        cache.solve(graph, "power-mis", k=2, seed=5, verify=False)
+        verified = cache.solve(graph, "power-mis", k=2, seed=5, verify=True)
+        assert not verified.hit
+        assert verified.report.certificate is not None
+        # ... and the verified entry satisfies both kinds of request.
+        assert cache.solve(graph, "power-mis", k=2, seed=5, verify=False).hit
+        assert cache.solve(graph, "power-mis", k=2, seed=5, verify=True).hit
+
+
+class TestPersistentTier:
+    def test_survives_process_restart(self, graph, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        first = SolveCache(path).solve(graph, "power-mis", k=2, seed=5)
+
+        fresh = SolveCache(path)  # a new instance = a new process
+        hit = fresh.solve(graph, "power-mis", k=2, seed=5)
+        assert hit.hit and hit.tier == "persistent"
+        assert hit.report.output == first.report.output
+        assert hit.report.provenance == first.report.provenance
+        assert hit.report.payload == {}  # live objects are never persisted
+
+    def test_certificate_replayed_on_hit(self, graph, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        original = SolveCache(path).solve(graph, "det-power-ruling", k=2,
+                                          seed=3)
+        hit = SolveCache(path).solve(graph, "det-power-ruling", k=2, seed=3)
+        assert hit.report.certificate is not None
+        assert hit.report.certificate.ok
+        assert hit.report.certificate.checks == \
+            original.report.certificate.checks
+
+    def test_cached_provenance_replays_bit_for_bit(self, graph, tmp_path):
+        """The acceptance contract: a cached response's provenance is
+        indistinguishable from (and replays to) a fresh repro.solve."""
+        path = str(tmp_path / "cache.jsonl")
+        SolveCache(path).solve(graph, "power-mis", k=2)
+        hit = SolveCache(path).solve(graph, "power-mis", k=2)
+        assert hit.hit
+        fresh = solve(graph, "power-mis", k=2)
+        assert hit.report.provenance == fresh.provenance
+        replayed = repro.replay(graph, hit.report.provenance)
+        assert replayed.output == hit.report.output
+        assert replayed.rounds == hit.report.rounds
+
+    def test_persistent_hit_promotes_to_memory(self, graph, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SolveCache(path).solve(graph, "power-mis", k=2, seed=5)
+        fresh = SolveCache(path)
+        assert fresh.solve(graph, "power-mis", k=2, seed=5).tier == "persistent"
+        assert fresh.solve(graph, "power-mis", k=2, seed=5).tier == "memory"
+
+    def test_compact_deduplicates(self, graph, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = SolveCache(path)
+        cache.solve(graph, "power-mis", k=2, seed=5)
+        # Re-put the same entry: append-only -> two lines, one live row.
+        report = cache.get(key_for_plan(REGISTRY.plan(graph, "power-mis",
+                                                      k=2, seed=5)))
+        cache.put(key_for_plan(REGISTRY.plan(graph, "power-mis", k=2,
+                                             seed=5)), report)
+        kept, dropped = cache.compact()
+        assert (kept, dropped) == (1, 1)
+        assert SolveCache(path).solve(graph, "power-mis", k=2, seed=5).hit
+
+    def test_same_instance_serves_after_compact(self, graph, tmp_path):
+        """Compaction moves byte offsets; the live span index must follow."""
+        path = str(tmp_path / "cache.jsonl")
+        cache = SolveCache(path, max_memory_entries=1)
+        cache.solve(graph, "power-mis", k=2, seed=1)
+        cache.solve(graph, "power-mis", k=2, seed=2)  # evicts seed=1 from memory
+        cache.put(key_for_plan(REGISTRY.plan(graph, "power-mis", k=2,
+                                             seed=2)),
+                  cache.solve(graph, "power-mis", k=2, seed=2).report)
+        cache.compact()
+        # seed=1 must now be re-read from its post-compaction offset.
+        assert cache.solve(graph, "power-mis", k=2, seed=1).tier == "persistent"
+
+
+class TestFingerprintMemo:
+    def test_memoized_per_object(self, graph):
+        invalidate_fingerprint(graph)
+        first = graph_fingerprint(graph)
+        assert graph in _FINGERPRINT_MEMO
+        assert graph_fingerprint(graph) == first
+
+    def test_equal_graphs_share_value_not_entry(self, graph):
+        clone = nx.Graph(graph.edges())
+        assert graph_fingerprint(clone) == graph_fingerprint(graph)
+        assert clone is not graph
+
+    def test_invalidate_after_mutation(self, graph):
+        before = graph_fingerprint(graph)
+        graph.add_node("extra")
+        # Documented contract: stale until invalidated.
+        assert graph_fingerprint(graph) == before
+        invalidate_fingerprint(graph)
+        assert graph_fingerprint(graph) != before
+        graph.remove_node("extra")
+        invalidate_fingerprint(graph)
+        assert graph_fingerprint(graph) == before
+
+    def test_memo_entry_dies_with_graph(self):
+        graph = nx.path_graph(6)
+        graph_fingerprint(graph)
+        import weakref
+
+        ref = weakref.ref(graph)
+        del graph
+        import gc
+
+        gc.collect()
+        assert ref() is None

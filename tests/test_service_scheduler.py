@@ -1,0 +1,292 @@
+"""The async scheduler: coalescing, priority, admission, sharding."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service import scheduler as scheduler_module
+from repro.service.cache import SolveCache
+from repro.service.scheduler import (
+    AdmissionError,
+    SolveRequest,
+    SolveScheduler,
+)
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_scheduler(**kwargs) -> SolveScheduler:
+    kwargs.setdefault("cache", SolveCache(""))
+    kwargs.setdefault("inline", True)
+    return SolveScheduler(**kwargs)
+
+
+REQUEST = SolveRequest(workload="regular-n24-d3", algorithm="power-mis",
+                       config=(("k", 2),), seed=5)
+
+
+class TestRequestParsing:
+    def test_from_obj_round_trip(self):
+        request = SolveRequest.from_obj({
+            "workload": "regular-n24-d3", "algorithm": "power-mis",
+            "config": {"k": 2}, "seed": 5, "graph_seed": 1,
+            "verify": False, "priority": 3,
+        })
+        assert request.workload == "regular-n24-d3"
+        assert request.config == (("k", 2),)
+        assert request.seed == 5 and request.graph_seed == 1
+        assert request.verify is False and request.priority == 3
+
+    def test_defaults(self):
+        request = SolveRequest.from_obj(
+            {"workload": "er-n20", "algorithm": "luby-power"})
+        assert request.seed is None
+        assert request.verify is True
+        assert request.priority == 10
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            SolveRequest.from_obj({"workload": "er-n20",
+                                   "algorithm": "luby-power", "bogus": 1})
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ValueError, match="required"):
+            SolveRequest.from_obj({"algorithm": "luby-power"})
+
+
+class TestSubmit:
+    def test_computed_then_hit(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                first = await scheduler.submit(REQUEST)
+                second = await scheduler.submit(REQUEST)
+                return first, second
+            finally:
+                await scheduler.stop()
+
+        first, second = run_async(scenario())
+        assert first.status == "computed"
+        assert second.status == "hit"
+        assert second.report.output == first.report.output
+        assert second.report.provenance == first.report.provenance
+
+    def test_unknown_workload_is_key_error(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                with pytest.raises(KeyError, match="unknown workload"):
+                    await scheduler.submit(
+                        SolveRequest(workload="no-such-cell",
+                                     algorithm="power-mis"))
+            finally:
+                await scheduler.stop()
+
+        run_async(scenario())
+
+    def test_family_name_resolves_to_first_cell(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                response = await scheduler.submit(
+                    SolveRequest(workload="er", algorithm="luby-power",
+                                 config=(("k", 2),), seed=1))
+                return response
+            finally:
+                await scheduler.stop()
+
+        assert run_async(scenario()).cell.startswith("er-")
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_computation(self,
+                                                               monkeypatch):
+        executions = []
+        real_worker = scheduler_module._worker_solve
+
+        def slow_worker(*args):
+            executions.append(args)
+            time.sleep(0.15)
+            return real_worker(*args)
+
+        monkeypatch.setattr(scheduler_module, "_worker_solve", slow_worker)
+
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                responses = await asyncio.gather(
+                    *(scheduler.submit(REQUEST) for _ in range(6)))
+                return responses, dict(scheduler.counters)
+            finally:
+                await scheduler.stop()
+
+        responses, counters = run_async(scenario())
+        assert len(executions) == 1, "identical in-flight requests must coalesce"
+        statuses = sorted(response.status for response in responses)
+        assert statuses.count("computed") == 1
+        assert statuses.count("coalesced") == 5
+        assert counters["coalesced"] == 5
+        reference = responses[0].report
+        for response in responses[1:]:
+            assert response.report.output == reference.output
+            assert response.report.provenance == reference.provenance
+
+    def test_cancelled_submitter_does_not_break_coalescing(self, monkeypatch):
+        """A submitter cancelled mid-await (wait_for timeout) must leave
+        the in-flight entry alive: an identical retry coalesces onto the
+        still-running job instead of spawning a duplicate computation."""
+        executions = []
+        release = threading.Event()
+        real_worker = scheduler_module._worker_solve
+
+        def gated_worker(*args):
+            executions.append(args)
+            release.wait(timeout=5)
+            return real_worker(*args)
+
+        monkeypatch.setattr(scheduler_module, "_worker_solve", gated_worker)
+
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(scheduler.submit(REQUEST),
+                                           timeout=0.1)
+                retry = asyncio.create_task(scheduler.submit(REQUEST))
+                await asyncio.sleep(0.05)
+                release.set()
+                response = await retry
+                return response
+            finally:
+                release.set()
+                await scheduler.stop()
+
+        response = run_async(scenario())
+        assert len(executions) == 1, \
+            "the retry must attach to the orphaned job, not recompute"
+        assert response.status in ("coalesced", "hit")
+
+    def test_distinct_requests_do_not_coalesce(self, monkeypatch):
+        executions = []
+        real_worker = scheduler_module._worker_solve
+
+        def counting_worker(*args):
+            executions.append(args)
+            return real_worker(*args)
+
+        monkeypatch.setattr(scheduler_module, "_worker_solve",
+                            counting_worker)
+
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                await asyncio.gather(*(
+                    scheduler.submit(SolveRequest(
+                        workload="regular-n24-d3", algorithm="power-mis",
+                        config=(("k", 2),), seed=seed))
+                    for seed in (1, 2, 3)))
+            finally:
+                await scheduler.stop()
+
+        run_async(scenario())
+        assert len(executions) == 3
+
+
+class TestPriorityAndAdmission:
+    def test_priority_orders_a_busy_shard(self, monkeypatch):
+        order = []
+        release = threading.Event()
+        real_worker = scheduler_module._worker_solve
+
+        def gated_worker(workload, graph_seed, algorithm, config, seed,
+                         verify):
+            if not order:
+                release.wait(timeout=5)  # hold the shard on the first job
+            order.append(seed)
+            return real_worker(workload, graph_seed, algorithm, config, seed,
+                               verify)
+
+        monkeypatch.setattr(scheduler_module, "_worker_solve", gated_worker)
+
+        async def scenario():
+            scheduler = make_scheduler(shards=1)
+            try:
+                first = asyncio.create_task(scheduler.submit(
+                    SolveRequest(workload="regular-n24-d3",
+                                 algorithm="power-mis", config=(("k", 2),),
+                                 seed=1)))
+                await asyncio.sleep(0.05)  # first job now occupies the shard
+                low = asyncio.create_task(scheduler.submit(
+                    SolveRequest(workload="regular-n24-d3",
+                                 algorithm="power-mis", config=(("k", 2),),
+                                 seed=2, priority=50)))
+                high = asyncio.create_task(scheduler.submit(
+                    SolveRequest(workload="regular-n24-d3",
+                                 algorithm="power-mis", config=(("k", 2),),
+                                 seed=3, priority=1)))
+                await asyncio.sleep(0.05)  # both queued behind the gate
+                release.set()
+                await asyncio.gather(first, low, high)
+            finally:
+                await scheduler.stop()
+
+        run_async(scenario())
+        assert order == [1, 3, 2], \
+            "the high-priority job must overtake the earlier low-priority one"
+
+    def test_admission_rejects_beyond_max_pending(self, monkeypatch):
+        release = threading.Event()
+        real_worker = scheduler_module._worker_solve
+
+        def gated_worker(*args):
+            release.wait(timeout=5)
+            return real_worker(*args)
+
+        monkeypatch.setattr(scheduler_module, "_worker_solve", gated_worker)
+
+        async def scenario():
+            scheduler = make_scheduler(shards=1, max_pending=1)
+            try:
+                blocked = asyncio.create_task(scheduler.submit(
+                    SolveRequest(workload="regular-n24-d3",
+                                 algorithm="power-mis", config=(("k", 2),),
+                                 seed=1)))
+                await asyncio.sleep(0.05)
+                with pytest.raises(AdmissionError):
+                    await scheduler.submit(SolveRequest(
+                        workload="regular-n24-d3", algorithm="power-mis",
+                        config=(("k", 2),), seed=2))
+                assert scheduler.counters["rejected"] == 1
+                release.set()
+                await blocked
+            finally:
+                release.set()
+                await scheduler.stop()
+
+        run_async(scenario())
+
+
+class TestStats:
+    def test_stats_row_shape(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                await scheduler.submit(REQUEST)
+                await scheduler.submit(REQUEST)
+                return scheduler.stats_row()
+            finally:
+                await scheduler.stop()
+
+        row = run_async(scenario())
+        assert row["requests"] == 2
+        assert row["hits"] == 1 and row["computed"] == 1
+        assert row["hit_rate"] == 0.5
+        assert row["latency_ms"]["count"] == 2
+        assert row["latency_ms"]["p50"] <= row["latency_ms"]["p99"]
+        assert row["cache"]["puts"] == 1
