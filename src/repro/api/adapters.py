@@ -380,21 +380,27 @@ def register_builtin_algorithms(registry: SolverRegistry) -> SolverRegistry:
         randomized=False,
         description="Lemma 8.3: distance-k ball graph over a greedy ruling set"),
         default=True)
-    # Simulator-native drivers.
+    # Simulator-native drivers.  Their `engine` key selects the round
+    # engine ("sync" / "active-set" / "vector") and is seed-neutral: all
+    # engines derive the same seed and produce bit-identical reports, so a
+    # provenance recorded under one engine replays on any other.
     register(Algorithm(
         "det-ruling-sim", "mis-power", _run_det_ruling_sim,
         defaults=(("engine", "sync"), ("max_rounds", 10_000)),
+        seed_neutral=("engine",),
         simulator_native=True, randomized=False,
         description="Deterministic greedy MIS by ID minima on the "
                     "message-passing runtime"))
     register(Algorithm(
         "luby-sim", "mis-power", _run_luby_sim,
         defaults=(("engine", "sync"), ("max_rounds", 10_000)),
+        seed_neutral=("engine",),
         simulator_native=True,
         description="Luby's MIS of G on the message-passing runtime"))
     register(Algorithm(
         "beeping-sim", "mis-power", _run_beeping_sim,
         defaults=(("engine", "sync"), ("max_steps", 200), ("max_rounds", 10_000)),
+        seed_neutral=("engine",),
         simulator_native=True,
         description="BeepingMIS of G on the message-passing runtime"))
     return registry

@@ -107,10 +107,21 @@ class Algorithm:
     description: str = ""
     simulator_native: bool = False
     randomized: bool = True
+    #: Config keys that select *how* the run executes without changing what
+    #: it computes (the ``engine`` of the simulator-native algorithms): they
+    #: are recorded in the provenance but excluded from derived-seed
+    #: material, so e.g. ``engine="vector"`` and ``engine="sync"`` derive
+    #: the same seed and produce bit-identical outputs.  ``replay`` accepts
+    #: overrides for exactly these keys.
+    seed_neutral: tuple[str, ...] = ()
 
     @property
     def config_keys(self) -> frozenset[str]:
         return frozenset(key for key, _ in self.defaults)
+
+    @property
+    def seed_neutral_keys(self) -> frozenset[str]:
+        return frozenset(self.seed_neutral)
 
     def resolve_config(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
         """Merge overrides into the defaults; unknown keys are a TypeError."""
@@ -219,8 +230,13 @@ class SolverRegistry:
         if seed is not None:
             derived_seed, policy = int(seed), "explicit"
         else:
+            # Execution-selection keys (engine backends) are excluded from
+            # the seed material: the same workload derives the same seed --
+            # and therefore the same outputs -- under every engine.
+            material = tuple(item for item in canonical
+                             if item[0] not in spec.seed_neutral_keys)
             derived_seed = derive_seed("repro.api", spec.name, fingerprint,
-                                       canonical, bits=32)
+                                       material, bits=32)
             policy = "derived"
         return SolvePlan(algorithm=spec, config=canonical,
                          graph_fingerprint=fingerprint, seed=derived_seed,
@@ -268,15 +284,32 @@ class SolverRegistry:
                          payload=outcome.payload, certificate=certificate)
 
     def replay(self, graph: nx.Graph, provenance: Provenance, *,
-               verify: bool = True) -> RunReport:
-        """Re-run a provenance block; bit-identical on the same graph."""
+               verify: bool = True, **overrides: Any) -> RunReport:
+        """Re-run a provenance block; bit-identical on the same graph.
+
+        ``overrides`` may remap the algorithm's *seed-neutral* config keys
+        only (e.g. ``engine="sync"`` to replay a vector-engine report on
+        the reference engine) -- those select the execution backend without
+        affecting seeds or outputs, so the replay stays bit-for-bit equal.
+        Overriding any other key would change what is computed and raises
+        ``TypeError``.
+        """
         if graph_fingerprint(graph) != provenance.graph_fingerprint:
             raise ValueError(
                 "graph fingerprint mismatch: the provenance block was recorded "
                 f"for {provenance.graph_fingerprint}, got "
                 f"{graph_fingerprint(graph)}")
+        if overrides:
+            spec = self.resolve(provenance.algorithm)
+            illegal = set(overrides) - spec.seed_neutral_keys
+            if illegal:
+                allowed = ", ".join(sorted(spec.seed_neutral_keys)) or "(none)"
+                raise TypeError(
+                    f"replay can only override the seed-neutral keys of "
+                    f"{spec.name!r} ({allowed}); got {sorted(illegal)}")
+        config = {**provenance.config_dict, **overrides}
         return self.solve(graph, provenance.algorithm, seed=provenance.seed,
-                          verify=verify, **provenance.config_dict)
+                          verify=verify, **config)
 
 
 def _with_builtin_problems(registry: SolverRegistry) -> SolverRegistry:

@@ -19,8 +19,11 @@ layers (see ``ARCHITECTURE.md`` for the full picture):
   per-edge per-round budget and tracks congestion by edge index;
 * *scheduling* (:mod:`repro.congest.engine`) -- pluggable
   :class:`RoundEngine` implementations: :class:`SyncEngine` (reference
-  semantics) and :class:`ActiveSetEngine` (skips halted nodes; late rounds
-  cost O(active) instead of O(n));
+  semantics), :class:`ActiveSetEngine` (skips halted nodes; late rounds
+  cost O(active) instead of O(n)) and :class:`VectorEngine`
+  (:mod:`repro.congest.vector_engine`: whole rounds as batched numpy array
+  operations over the CSR snapshot, bit-identical to ``SyncEngine``, with
+  automatic scalar fallback when a run is not vectorizable);
 * *instrumentation* (:mod:`repro.congest.observers`) -- the
   :class:`RoundObserver` trace API with built-in observers for run
   statistics, per-round congestion profiles and halting timelines.
@@ -83,6 +86,7 @@ __all__ = [
     "SyncEngine",
     "TopologySnapshot",
     "Transport",
+    "VectorEngine",
     "build_bfs_tree",
     "build_spanning_bfs_tree",
     "elect_leader",
@@ -93,3 +97,13 @@ __all__ = [
     "run_flooding",
     "run_leader_election",
 ]
+
+
+def __getattr__(name: str):
+    # VectorEngine is exported lazily (PEP 562): importing it pulls numpy,
+    # which scalar-only users should never pay for at `import repro` time.
+    if name == "VectorEngine":
+        from repro.congest.vector_engine import VectorEngine
+
+        return VectorEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

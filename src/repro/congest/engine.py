@@ -40,7 +40,8 @@ from repro.congest.observers import RoundObserver, RoundSnapshot
 from repro.congest.topology import TopologySnapshot
 from repro.congest.transport import EMPTY_INBOX, Transport
 
-__all__ = ["ActiveSetEngine", "RoundEngine", "Runtime", "SyncEngine", "resolve_engine"]
+__all__ = ["ActiveSetEngine", "RoundEngine", "Runtime", "SyncEngine",
+           "register_engine", "resolve_engine"]
 
 
 @dataclass
@@ -206,12 +207,29 @@ _ENGINES = {
 }
 
 
+def register_engine(name: str, engine_class: type,
+                    *aliases: str) -> None:
+    """Add an engine class to the name registry used by :func:`resolve_engine`.
+
+    Called by engine modules that live outside this file (the vectorized
+    array engine registers itself as ``"vector"`` on import); re-registering
+    the same class under the same name is a no-op, a *different* class under
+    a taken name is an error.
+    """
+    for key in (name, *aliases):
+        existing = _ENGINES.get(key)
+        if existing is not None and existing is not engine_class:
+            raise ValueError(f"engine name {key!r} already registered "
+                             f"for {existing.__name__}")
+        _ENGINES[key] = engine_class
+
+
 def resolve_engine(engine: "RoundEngine | type[RoundEngine] | str | None",
                    ) -> RoundEngine:
     """Normalise the ``engine=`` argument of the simulator facade.
 
     Accepts an engine instance, an engine class, a name (``"sync"``,
-    ``"active-set"``/``"active"``) or ``None`` (the default
+    ``"active-set"``/``"active"``, ``"vector"``) or ``None`` (the default
     :class:`SyncEngine`).
     """
     if engine is None:
@@ -221,6 +239,13 @@ def resolve_engine(engine: "RoundEngine | type[RoundEngine] | str | None",
     if isinstance(engine, type) and issubclass(engine, RoundEngine):
         return engine()
     if isinstance(engine, str):
+        if engine not in _ENGINES:
+            # The vector engine registers on import; resolving by name must
+            # work even when only `repro.congest.engine` was imported.
+            try:
+                import repro.congest.vector_engine  # noqa: F401 (registers)
+            except ImportError:  # pragma: no cover - numpy-less fallback
+                pass
         try:
             return _ENGINES[engine]()
         except KeyError:

@@ -12,8 +12,10 @@ together (see ``ARCHITECTURE.md``):
    the aggregate per-edge per-round bandwidth accountant;
 3. **scheduling** (:mod:`repro.congest.engine`) -- a pluggable
    :class:`RoundEngine`; the default :class:`SyncEngine` reproduces the
-   legacy semantics bit for bit, while :class:`ActiveSetEngine` skips halted
-   nodes entirely;
+   legacy semantics bit for bit, :class:`ActiveSetEngine` skips halted
+   nodes entirely, and :class:`~repro.congest.vector_engine.VectorEngine`
+   (``engine="vector"``) executes supported algorithms as batched numpy
+   rounds -- all three bit-identical for the same seed;
 4. **instrumentation** (:mod:`repro.congest.observers`) -- a
    :class:`RoundObserver` trace API replacing the legacy inlined counters.
 
@@ -134,7 +136,8 @@ class Simulator:
         to *measure* congestion (Figure 1) set this to ``False``.
     engine:
         The round engine: an instance, class, name (``"sync"`` /
-        ``"active-set"``) or ``None`` for the default :class:`SyncEngine`.
+        ``"active-set"`` / ``"vector"``) or ``None`` for the default
+        :class:`SyncEngine`.
     observers:
         Iterable of :class:`RoundObserver` instances to attach for this
         simulator's runs.

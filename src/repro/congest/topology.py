@@ -35,6 +35,17 @@ Node = Hashable
 __all__ = ["TopologySnapshot"]
 
 
+class _TopologyArrays:
+    """Namespace of the snapshot's cached numpy CSR arrays (see
+    :meth:`TopologySnapshot.numpy_arrays`)."""
+
+    def __init__(self, **arrays) -> None:
+        self.__dict__.update(arrays)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_TopologyArrays({', '.join(sorted(self.__dict__))})"
+
+
 class TopologySnapshot:
     """Integer-indexed, read-only view of a :class:`CongestNetwork`.
 
@@ -83,6 +94,7 @@ class TopologySnapshot:
         "edge_endpoints",
         "edge_labels",
         "max_degree",
+        "_numpy_cache",
     )
 
     def __init__(self, network: "CongestNetwork") -> None:
@@ -135,6 +147,44 @@ class TopologySnapshot:
         self.edge_endpoints = edge_endpoints
         self.edge_labels = tuple((labels[u], labels[v]) for u, v in edge_endpoints)
         self.max_degree = max(self.degrees, default=0)
+        self._numpy_cache = None
+
+    # -------------------------------------------------------------- arrays
+    def numpy_arrays(self):
+        """The snapshot's CSR adjacency as cached ``int64`` numpy arrays.
+
+        Built lazily (numpy is only required by callers that ask, i.e. the
+        vectorized round engine) and cached on the snapshot, exactly like
+        the snapshot itself is cached on the network.  The returned object
+        carries:
+
+        ``indptr`` (n+1), ``neighbor_indices`` (2m), ``rows`` (2m: the
+        owning node of each CSR position), ``degrees`` (n), ``congest_ids``
+        (n), ``edge_u`` / ``edge_v`` (m: canonical endpoint indices of every
+        undirected edge).  All arrays are read-only views shared by every
+        run over this snapshot.
+        """
+        if self._numpy_cache is None:
+            import numpy as np
+
+            indptr = np.asarray(self.indptr, dtype=np.int64)
+            degrees = np.asarray(self.degrees, dtype=np.int64)
+            arrays = _TopologyArrays(
+                indptr=indptr,
+                neighbor_indices=np.asarray(self.neighbor_indices,
+                                            dtype=np.int64),
+                rows=np.repeat(np.arange(self.n, dtype=np.int64), degrees),
+                degrees=degrees,
+                congest_ids=np.asarray(self.congest_ids, dtype=np.int64),
+                edge_u=np.asarray([u for u, _ in self.edge_endpoints],
+                                  dtype=np.int64),
+                edge_v=np.asarray([v for _, v in self.edge_endpoints],
+                                  dtype=np.int64),
+            )
+            for array in vars(arrays).values():
+                array.setflags(write=False)
+            self._numpy_cache = arrays
+        return self._numpy_cache
 
     # ------------------------------------------------------------- queries
     def neighbors(self, index: int) -> list[int]:

@@ -312,6 +312,27 @@ class Transport:
         self.round_messages += messages
         self.round_bits += bits
 
+    def absorb_aggregates(self, messages: int, bits: int,
+                          edge_message_counts) -> None:
+        """Fold externally-computed traffic into the run-level accountants.
+
+        The array-engine escape hatch: an engine that routes whole rounds as
+        batched array operations (no per-message :meth:`deposit` calls)
+        still reports its traffic through the transport, so
+        ``total_messages`` / ``total_bits`` / per-edge congestion -- and
+        everything downstream of them (:class:`~repro.congest.simulator.
+        SimulationResult`, ``edge_counts_by_label``) -- stay the single
+        source of truth regardless of the engine.  ``edge_message_counts``
+        is an iterable of per-edge message counts aligned with the
+        topology's canonical edge indices.
+        """
+        self.total_messages += int(messages)
+        self.total_bits += int(bits)
+        counts = self.edge_message_counts
+        for edge, count in enumerate(edge_message_counts):
+            if count:
+                counts[edge] += int(count)
+
     def _bandwidth_error(self, sender_label: Node, receiver_index: int,
                          bits: int, load: int) -> BandwidthExceededError:
         receiver_label = self.topology.labels[receiver_index]

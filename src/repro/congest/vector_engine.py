@@ -1,0 +1,465 @@
+"""The vectorized array engine: batched numpy rounds over the CSR topology.
+
+:class:`VectorEngine` is the third round engine of the runtime (after
+:class:`~repro.congest.engine.SyncEngine` and
+:class:`~repro.congest.engine.ActiveSetEngine`).  Instead of driving one
+Python ``send``/``receive`` state machine per node, it executes an entire
+round as a handful of numpy array operations over the topology snapshot's
+CSR adjacency (:meth:`~repro.congest.topology.TopologySnapshot.numpy_arrays`):
+per-round neighbor aggregation is a masked segment reduction
+(``np.minimum.reduceat`` over the CSR row pointers) and message accounting
+is a vectorized scatter over the canonical edge indices.
+
+Equivalence contract
+--------------------
+The vector engine is an *optimisation*, never a semantic fork: for every
+supported algorithm it produces bit-for-bit the outputs, round counts,
+total message/bit counts and per-edge congestion of :class:`SyncEngine` for
+the same seed.  Randomness is drawn from the very same per-node
+``random.Random`` streams the scalar engines use (one draw per undecided
+node per step, in the same rounds), so even the RNG consumption is
+identical -- a report produced under ``engine="vector"`` replays exactly on
+``engine="sync"``.  The differential matrix in
+``tests/test_engine_equivalence.py`` and the hypothesis suite in
+``tests/test_engine_fuzz.py`` lock this down.
+
+When vectorization applies
+--------------------------
+A run takes the vector path only when *all* of the following hold; anything
+else silently falls back to the (bit-identical) :class:`SyncEngine`, so
+``engine="vector"`` is always safe to request:
+
+* numpy is importable;
+* every node runs exactly the same :class:`~repro.congest.node.
+  NodeAlgorithm` class, and that class has a registered
+  :class:`VectorProgram` (shipping programs: ``LubyMISNode``,
+  ``BeepingMISNode``, ``DetRulingSetNode``);
+* no observers are attached and the transport is not instrumented
+  (``profile_slots``): per-message hooks are inherently scalar;
+* the transport is full-duplex (the standard CONGEST convention; the
+  half-duplex shared budget needs per-slot accounting).
+
+Traffic accounting flows through
+:meth:`~repro.congest.transport.Transport.absorb_aggregates`, so the
+transport layer remains the single source of truth for
+``total_messages`` / ``total_bits`` / per-edge congestion and everything
+downstream (``SimulationResult``, ``edge_counts_by_label``, ``cost``
+analyses) keeps working unchanged.
+
+Adding a program
+----------------
+Subclass :class:`VectorProgram`, implement ``run``, and register it with
+:func:`register_vector_program` under the *exact* node class (subclasses
+intentionally do not inherit a program: they may override ``send`` /
+``receive``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:  # numpy is an optional accelerator, not a hard dependency
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    np = None  # type: ignore[assignment]
+
+from repro.congest.engine import (
+    RoundEngine,
+    Runtime,
+    SyncEngine,
+    register_engine,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congest.transport import Transport
+
+__all__ = ["VectorEngine", "VectorProgram", "register_vector_program"]
+
+#: Sentinel for "no active neighbor" in segment minima (int64 max).
+_SENTINEL = (1 << 63) - 1
+
+#: Registered vector programs, keyed by the node class's dotted name (exact
+#: class match -- subclasses must register their own program).
+_PROGRAMS: dict[str, type["VectorProgram"]] = {}
+
+
+def _class_key(node_class: type) -> str:
+    return f"{node_class.__module__}.{node_class.__qualname__}"
+
+
+def register_vector_program(node_class: type,
+                            program_class: type["VectorProgram"],
+                            ) -> type["VectorProgram"]:
+    """Register ``program_class`` as the vector execution of ``node_class``."""
+    _PROGRAMS[_class_key(node_class)] = program_class
+    return program_class
+
+
+# --------------------------------------------------------------- primitives
+def _bit_lengths(values: "np.ndarray") -> "np.ndarray":
+    """Exact ``int.bit_length()`` for a non-negative int64 array (< 2^62).
+
+    Uses a searchsorted over the powers of two -- exact where a float
+    ``log2`` could round across an integer boundary.
+    """
+    return np.searchsorted(_POW2, values, side="right").astype(np.int64)
+
+
+if np is not None:
+    _POW2 = np.array([1 << k for k in range(63)], dtype=np.int64)
+
+
+def _int_message_bits(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized ``message_bits`` of integer payloads (length + sign bit)."""
+    return np.maximum(1, _bit_lengths(values)) + 1
+
+
+class _SegmentOps:
+    """Masked neighbor aggregations over the CSR arrays of one topology."""
+
+    def __init__(self, arrays) -> None:
+        self.starts = arrays.indptr[:-1]
+        self.nbr = arrays.neighbor_indices
+        self.rows = arrays.rows
+        self.empty = arrays.degrees == 0
+
+    def _reduce_min(self, per_position: "np.ndarray") -> "np.ndarray":
+        padded = np.append(per_position, _SENTINEL)
+        mins = np.minimum.reduceat(padded, self.starts)
+        # reduceat yields the *next* segment's head for empty segments;
+        # degree-0 rows have no neighbors by definition.
+        mins[self.empty] = _SENTINEL
+        return mins
+
+    def min_over_active(self, values: "np.ndarray", active: "np.ndarray",
+                        ) -> "np.ndarray":
+        """Per-node min of ``values[v]`` over active neighbors ``v`` (else
+        sentinel)."""
+        per_position = np.where(active[self.nbr], values[self.nbr], _SENTINEL)
+        return self._reduce_min(per_position)
+
+    def min_pair_over_active(self, values: "np.ndarray", ids: "np.ndarray",
+                             active: "np.ndarray",
+                             ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Lexicographic per-node min of ``(values[v], ids[v])`` over active
+        neighbors: the exact semantics of ``min()`` over a tuple inbox."""
+        nbr_active = active[self.nbr]
+        nbr_values = values[self.nbr]
+        min_values = self._reduce_min(
+            np.where(nbr_active, nbr_values, _SENTINEL))
+        ties = nbr_active & (nbr_values == min_values[self.rows])
+        min_ids = self._reduce_min(np.where(ties, ids[self.nbr], _SENTINEL))
+        return min_values, min_ids
+
+    def any_neighbor(self, flags: "np.ndarray") -> "np.ndarray":
+        """Per-node: does any neighbor have ``flags[v]`` set?"""
+        padded = np.append(flags[self.nbr].astype(np.int8), 0)
+        counts = np.add.reduceat(padded, self.starts)
+        counts[self.empty] = 0
+        return counts > 0
+
+
+class _Accountant:
+    """Accumulates broadcast-round traffic; flushes into the transport.
+
+    Mirrors exactly what the scalar transport would count for a round in
+    which every node in ``senders`` broadcasts one payload to all its
+    neighbors: ``deg(u)`` messages of ``payload_bits(u)`` each, one message
+    per incident edge.  In full-duplex mode every directed slot carries at
+    most that single message, so the aggregate bandwidth check reduces to
+    the per-payload check -- raised through the transport's own error
+    factory so the failure mode is the scalar one.
+    """
+
+    def __init__(self, transport: "Transport", arrays) -> None:
+        self.transport = transport
+        self.topology = transport.topology
+        self.degrees = arrays.degrees
+        self.edge_u = arrays.edge_u
+        self.edge_v = arrays.edge_v
+        self.nbr = arrays.neighbor_indices
+        self.starts = arrays.indptr[:-1]
+        self.edge_counts = np.zeros(len(arrays.edge_u), dtype=np.int64)
+        self.messages = 0
+        self.bits = 0
+
+    def broadcast_round(self, senders: "np.ndarray",
+                        payload_bits: "int | np.ndarray") -> None:
+        if not senders.any():
+            return
+        degrees = self.degrees
+        scalar = isinstance(payload_bits, int)
+        if self.transport.enforce:
+            # Full duplex + one broadcast per sender per round means every
+            # directed slot carries exactly one message, so the aggregate
+            # budget check is the per-payload check (only actual deposits
+            # count: a sender without neighbors deposits nothing).
+            too_big = (payload_bits > self.transport.bandwidth_bits)
+            offenders = senders & (degrees > 0) & too_big
+            if offenders.any():
+                first = int(np.argmax(offenders))
+                bits = int(payload_bits if scalar else payload_bits[first])
+                raise self.transport._bandwidth_error(
+                    self.topology.labels[first],
+                    int(self.nbr[self.starts[first]]), bits, bits)
+        message_count = int(degrees[senders].sum())
+        self.messages += message_count
+        if scalar:
+            self.bits += message_count * payload_bits
+        else:
+            self.bits += int((degrees[senders] * payload_bits[senders]).sum())
+        self.edge_counts += (senders[self.edge_u].astype(np.int64)
+                             + senders[self.edge_v].astype(np.int64))
+
+    def flush(self) -> None:
+        self.transport.absorb_aggregates(self.messages, self.bits,
+                                         self.edge_counts.tolist())
+
+
+# ----------------------------------------------------------------- programs
+class VectorProgram:
+    """Vector execution of one node-algorithm class over one runtime."""
+
+    def __init__(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        self.topology = runtime.topology
+        self.transport = runtime.transport
+        self.instances = runtime.instances
+        self.arrays = self.topology.numpy_arrays()
+        self.segments = _SegmentOps(self.arrays)
+        self.accountant = _Accountant(runtime.transport, self.arrays)
+        self.live = np.array([not inst.halted for inst in self.instances],
+                             dtype=bool)
+
+    @classmethod
+    def supports(cls, runtime: Runtime) -> bool:
+        """Instance-level gate (sizes, parameter ranges); class match is
+        already established by the engine."""
+        return True
+
+    def run(self, max_rounds: int) -> int:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- writeback
+    @staticmethod
+    def _halt(instance, output) -> None:
+        instance.halt(output)
+
+
+class _LubyProgram(VectorProgram):
+    """Batched Luby MIS: priorities drawn from the per-node RNG streams."""
+
+    @classmethod
+    def supports(cls, runtime: Runtime) -> bool:
+        space = getattr(runtime.instances[0], "_priority_space", None)
+        # Drawn priorities must fit the exact-bit-length table (< 2^62).
+        return isinstance(space, int) and 0 < space <= (1 << 62)
+
+    def run(self, max_rounds: int) -> int:
+        instances = self.instances
+        node_class = type(instances[0])
+        arrays = self.arrays
+        ids = arrays.congest_ids
+        id_bits = _int_message_bits(ids)
+        rngs = [inst.rng for inst in instances]
+        space = instances[0]._priority_space
+        undecided = self.live.copy()
+        values = np.zeros(len(instances), dtype=np.int64)
+        min_values = min_ids = None
+        in_mis = np.zeros_like(undecided)
+        dominated = np.zeros_like(undecided)
+
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            if not undecided.any():
+                break
+            rounds = round_number
+            if round_number % 2 == 1:
+                active_idx = np.flatnonzero(undecided)
+                values[active_idx] = np.fromiter(
+                    (rngs[i].randrange(space) for i in active_idx),
+                    dtype=np.int64, count=len(active_idx))
+                # (priority, id) tuples: value bits + id bits + tuple bit.
+                self.accountant.broadcast_round(
+                    undecided, _int_message_bits(values) + id_bits + 1)
+                min_values, min_ids = self.segments.min_pair_over_active(
+                    values, ids, undecided)
+            else:
+                winners = undecided & (
+                    (min_values == _SENTINEL)
+                    | (values < min_values)
+                    | ((values == min_values) & (ids < min_ids)))
+                self.accountant.broadcast_round(winners, 1)
+                losers = (undecided & ~winners
+                          & self.segments.any_neighbor(winners))
+                in_mis |= winners
+                dominated |= losers
+                undecided &= ~(winners | losers)
+        self.accountant.flush()
+
+        for index in np.flatnonzero(in_mis):
+            instance = instances[index]
+            instance.state = node_class.IN_MIS
+            self._halt(instance, True)
+        for index in np.flatnonzero(dominated):
+            instance = instances[index]
+            instance.state = node_class.DOMINATED
+            self._halt(instance, False)
+        return rounds
+
+
+class _BeepingProgram(VectorProgram):
+    """Batched BeepingMIS: 1-bit beeps, exponential probability updates."""
+
+    def run(self, max_rounds: int) -> int:
+        instances = self.instances
+        n = len(instances)
+        rngs = [inst.rng for inst in instances]
+        active = self.live.copy()
+        probability = np.array([inst.probability for inst in instances],
+                               dtype=np.float64)
+        timeout_round = np.array([2 * inst.max_steps for inst in instances],
+                                 dtype=np.int64)
+        marked = np.zeros(n, dtype=bool)
+        heard_mark = np.zeros(n, dtype=bool)
+        in_mis = np.zeros(n, dtype=bool)
+        dominated = np.zeros(n, dtype=bool)
+        timed_out = np.zeros(n, dtype=bool)
+
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            if not active.any():
+                break
+            rounds = round_number
+            if round_number % 2 == 1:
+                active_idx = np.flatnonzero(active)
+                draws = np.fromiter((rngs[i].random() for i in active_idx),
+                                    dtype=np.float64, count=len(active_idx))
+                marked.fill(False)
+                marked[active_idx] = draws < probability[active_idx]
+                self.accountant.broadcast_round(marked, 1)
+                heard_mark = self.segments.any_neighbor(marked)
+                halved = probability / 2.0
+                doubled = np.minimum(0.5, 2.0 * probability)
+                probability = np.where(
+                    active, np.where(heard_mark, halved, doubled), probability)
+            else:
+                joiners = active & marked & ~heard_mark
+                self.accountant.broadcast_round(joiners, 1)
+                losers = (active & ~joiners
+                          & self.segments.any_neighbor(joiners))
+                expired = (active & ~joiners & ~losers
+                           & (round_number >= timeout_round))
+                in_mis |= joiners
+                dominated |= losers
+                timed_out |= expired
+                active &= ~(joiners | losers | expired)
+        self.accountant.flush()
+
+        for index in np.flatnonzero(in_mis):
+            instance = instances[index]
+            instance.decided = instance.in_mis = True
+            self._halt(instance, True)
+        for index in np.flatnonzero(dominated):
+            instance = instances[index]
+            instance.decided = True
+            self._halt(instance, False)
+        for index in np.flatnonzero(timed_out):
+            self._halt(instances[index], False)  # decided stays False
+        for index in np.flatnonzero(active):  # out of rounds mid-protocol
+            instance = instances[index]
+            instance.probability = float(probability[index])
+            instance.marked = bool(marked[index])
+            instance.heard_mark = bool(heard_mark[index])
+        return rounds
+
+
+class _DetRulingProgram(VectorProgram):
+    """Batched deterministic greedy MIS by iterated ID minima."""
+
+    def run(self, max_rounds: int) -> int:
+        instances = self.instances
+        ids = self.arrays.congest_ids
+        id_bits = _int_message_bits(ids)
+        undecided = self.live.copy()
+        min_ids = None
+        in_set = np.zeros_like(undecided)
+        dominated = np.zeros_like(undecided)
+
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            if not undecided.any():
+                break
+            rounds = round_number
+            if round_number % 2 == 1:
+                self.accountant.broadcast_round(undecided, id_bits)
+                min_ids = self.segments.min_over_active(ids, undecided)
+            else:
+                winners = undecided & ((min_ids == _SENTINEL)
+                                       | (ids < min_ids))
+                self.accountant.broadcast_round(winners, 1)
+                losers = (undecided & ~winners
+                          & self.segments.any_neighbor(winners))
+                in_set |= winners
+                dominated |= losers
+                undecided &= ~(winners | losers)
+        self.accountant.flush()
+
+        for index in np.flatnonzero(in_set):
+            self._halt(instances[index], True)
+        for index in np.flatnonzero(dominated):
+            self._halt(instances[index], False)
+        return rounds
+
+
+# ------------------------------------------------------------------- engine
+class VectorEngine(RoundEngine):
+    """Vectorized scheduler; falls back to :class:`SyncEngine` when the run
+    is not vectorizable (see the module docstring for the exact rules)."""
+
+    name = "vector"
+
+    def __init__(self, fallback: RoundEngine | None = None) -> None:
+        self.fallback = fallback if fallback is not None else SyncEngine()
+
+    def run(self, runtime: Runtime, max_rounds: int) -> int:
+        program_class = self.select_program(runtime)
+        if program_class is None:
+            return self.fallback.run(runtime, max_rounds)
+        return program_class(runtime).run(max_rounds)
+
+    @staticmethod
+    def select_program(runtime: Runtime) -> type[VectorProgram] | None:
+        """The program that will execute ``runtime``, or ``None`` (fallback).
+
+        Exposed for tests and diagnostics: asserting a workload really takes
+        the vector path is part of the differential matrix.
+        """
+        if np is None:
+            return None
+        instances = runtime.instances
+        if not instances:
+            return None
+        if runtime.observers or runtime.transport.profile_slots:
+            return None
+        if runtime.transport.half_duplex:
+            return None
+        node_class = type(instances[0])
+        program_class = _PROGRAMS.get(_class_key(node_class))
+        if program_class is None:
+            return None
+        if any(type(instance) is not node_class for instance in instances):
+            return None
+        if not program_class.supports(runtime):
+            return None
+        return program_class
+
+
+register_engine(VectorEngine.name, VectorEngine, "numpy")
+
+_BUILTIN_PROGRAMS = {
+    "repro.mis.luby.LubyMISNode": _LubyProgram,
+    "repro.mis.beeping.BeepingMISNode": _BeepingProgram,
+    "repro.ruling.distributed.DetRulingSetNode": _DetRulingProgram,
+}
+_PROGRAMS.update(_BUILTIN_PROGRAMS)

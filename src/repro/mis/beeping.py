@@ -277,7 +277,9 @@ def simulate_beeping_mis(network: CongestNetwork, *, seed: int = 0,
 
     Like :func:`repro.mis.luby.simulate_luby_mis`, this is the driver that
     wires the per-node state machine into the simulator facade with a
-    selectable round engine and observers.
+    selectable round engine and observers; ``engine="vector"`` runs
+    :class:`BeepingMISNode` as batched numpy rounds, bit-identical to the
+    scalar engines for the same seed.
     """
     result = Simulator(network, lambda node: BeepingMISNode(max_steps=max_steps),
                        seed=seed, engine=engine, observers=observers).run(max_rounds)

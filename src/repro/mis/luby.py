@@ -199,9 +199,11 @@ def simulate_luby_mis(network: CongestNetwork, *, seed: int = 0, engine=None,
 
     The driver for the message-passing Luby execution: it accepts the
     simulator facade's ``engine=`` / ``observers=`` arguments, so the same
-    run works under :class:`~repro.congest.engine.SyncEngine` and
-    :class:`~repro.congest.engine.ActiveSetEngine` (identical outputs for
-    the same seed).
+    run works under :class:`~repro.congest.engine.SyncEngine`,
+    :class:`~repro.congest.engine.ActiveSetEngine` and the vectorized
+    :class:`~repro.congest.vector_engine.VectorEngine`, which executes
+    :class:`LubyMISNode` as batched numpy rounds drawing from the same
+    per-node RNG streams (identical outputs for the same seed).
     """
     result = Simulator(network, LubyMISNode, seed=seed, engine=engine,
                        observers=observers).run(max_rounds)

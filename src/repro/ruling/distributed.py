@@ -81,7 +81,10 @@ def simulate_det_ruling_set(network: CongestNetwork, *, engine=None, observers=(
 
     Returns ``(ruling_set, result)``; the ruling set is an MIS of ``G``
     (verify with :func:`repro.ruling.verify.is_mis_of_power_graph`), fully
-    determined by the network's ID assignment.
+    determined by the network's ID assignment.  Being seed-independent,
+    this is the canonical differential workload for the engine backends --
+    ``engine="vector"`` executes it as batched numpy ID-minima rounds,
+    bit-identical to the scalar engines.
     """
     result = Simulator(network, DetRulingSetNode, engine=engine,
                        observers=observers).run(max_rounds)

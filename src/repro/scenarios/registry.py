@@ -340,16 +340,22 @@ def _register_cells(registry: ScenarioRegistry) -> None:
 def _register_scenarios(registry: ScenarioRegistry) -> None:
     smoke_cells = [cell.name for cell in registry.cells(tags={"smoke"})]
 
-    # Simulator-native deterministic ruling set under both engines, everywhere.
+    # Simulator-native deterministic ruling set under every engine backend
+    # (scalar reference, active-set and the vectorized array engine),
+    # everywhere.
     for cell in smoke_cells:
-        for engine in ("sync", "active-set"):
+        for engine in ("sync", "active-set", "vector"):
             registry.add_scenario(cell, "det-ruling-sim", engine=engine,
                                   tags={"smoke", "engine-equivalence", "property"})
 
     # Simulator-native Luby on a structural cross-section.
     for cell in ("regular-n24-d3", "disconnected-n18", "crown-m5"):
-        registry.add_scenario(cell, "luby-sim", engine="sync",
-                              tags={"smoke", "engine-equivalence", "property"})
+        for engine in ("sync", "vector"):
+            registry.add_scenario(cell, "luby-sim", engine=engine,
+                                  tags={"smoke", "engine-equivalence", "property"})
+    # BeepingMIS exercises the third vectorized program in the smoke sweep.
+    registry.add_scenario("regular-n24-d3", "beeping-sim", engine="vector",
+                          tags={"smoke", "engine-equivalence", "property"})
 
     # Power-graph algorithms (k = 2) on the adversarial + regular smoke cells.
     for cell in ("regular-n24-d3", "dense-core-6x3x5", "crown-m5", "disconnected-n18"):

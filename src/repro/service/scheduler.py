@@ -60,7 +60,8 @@ __all__ = ["AdmissionError", "SolveRequest", "SolveResponse", "SolveScheduler",
 
 
 class AdmissionError(RuntimeError):
-    """Raised when the scheduler's pending queues are full (backpressure)."""
+    """Raised when the scheduler refuses a request: the pending queues are
+    full (backpressure) or the scheduler is shutting down / closed."""
 
 
 def resolve_workload(workload: str) -> str:
@@ -212,6 +213,7 @@ class SolveScheduler:
         self._seq = itertools.count()
         self._pending = 0
         self._started = False
+        self._closed = False
         self.counters: dict[str, int] = {
             "requests": 0, "hits": 0, "computed": 0, "coalesced": 0,
             "rejected": 0, "errors": 0,
@@ -220,6 +222,8 @@ class SolveScheduler:
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
+        if self._closed:
+            raise AdmissionError("scheduler is closed")
         if self._started:
             return
         self._started = True
@@ -236,6 +240,19 @@ class SolveScheduler:
                 asyncio.create_task(self._consume(shard), name=f"shard-{shard}"))
 
     async def stop(self) -> None:
+        """Shut the scheduler down; pending and future work is *refused*.
+
+        Closing is terminal and race-free by contract:
+
+        * a ``submit`` arriving during or after ``stop()`` raises a clean
+          :class:`AdmissionError` instead of restarting the consumers or
+          enqueueing into a queue nobody drains;
+        * jobs still sitting in the shard queues when the consumers are
+          cancelled have their futures failed with :class:`AdmissionError`,
+          so every submitter (including coalesced waiters sharing the
+          future) unblocks instead of hanging forever.
+        """
+        self._closed = True
         if not self._started:
             return
         self._started = False
@@ -246,11 +263,30 @@ class SolveScheduler:
                 await task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
+        # Fail the jobs no consumer will ever pop (and any still-pending
+        # in-flight future) so their submitters unblock with a clean error.
+        shutdown_error = AdmissionError(
+            "scheduler closed while the request was queued")
+        for queue in self._queues:
+            while True:
+                try:
+                    _, _, job = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not job.future.done():
+                    job.future.set_exception(shutdown_error)
+        for future in list(self._inflight.values()):
+            if not future.done():
+                future.set_exception(shutdown_error)
+        self._pending = 0
         for executor in self._executors:
             executor.shutdown(wait=False, cancel_futures=True)
         self._consumers.clear()
         self._executors.clear()
         self._queues.clear()
+
+    #: ``close`` is the conventional name for the terminal shutdown.
+    close = stop
 
     # ------------------------------------------------------------- serving
     def _workload_graph(self, cell: str, graph_seed: int) -> nx.Graph:
@@ -285,9 +321,15 @@ class SolveScheduler:
         """Serve one request (see the module docstring for the pipeline)."""
         start = time.perf_counter()
         self.counters["requests"] += 1
+        if self._closed:
+            self.counters["rejected"] += 1
+            raise AdmissionError("scheduler is closed")
         loop = asyncio.get_running_loop()
         cell, key = await loop.run_in_executor(None, self._plan_request,
                                                request)
+        if self._closed:  # closed while planning off-loop: do not enqueue
+            self.counters["rejected"] += 1
+            raise AdmissionError("scheduler is closed")
 
         report = self.cache.get(key, require_certificate=request.verify)
         if report is not None:
@@ -359,8 +401,13 @@ class SolveScheduler:
                 if not job.future.done():
                     job.future.set_result(report)
             except asyncio.CancelledError:
+                # Consumer cancellation means shutdown: fail (not cancel)
+                # the job's future so submitters awaiting it -- including
+                # coalesced waiters -- see a clean AdmissionError rather
+                # than a confusing CancelledError of their own coroutine.
                 if not job.future.done():
-                    job.future.cancel()
+                    job.future.set_exception(AdmissionError(
+                        "scheduler closed while the request was running"))
                 raise
             except Exception as error:  # noqa: BLE001 - surfaced per-request
                 self.counters["errors"] += 1

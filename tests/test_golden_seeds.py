@@ -1,0 +1,142 @@
+"""Golden-seed snapshots: frozen solver outputs for one fixed seed.
+
+For every algorithm registered in :data:`repro.api.REGISTRY` this suite
+pins the exact output node set and round count produced on a small fixed
+graph (``regular-n24-d3`` built with graph seed 5) with solve seed 1234.
+The cross-engine and parity suites prove *relative* equality; this one
+catches *absolute* drift: an accidental change to RNG consumption order,
+node iteration order, ID assignment or seed derivation shows up here even
+when every engine drifts in lockstep.
+
+The snapshot lives in ``tests/golden_seeds.json``.  When an intentional
+change shifts the outputs (a new algorithm, a deliberate protocol change),
+regenerate it with::
+
+    PYTHONPATH=src python tests/test_golden_seeds.py --update
+
+and review the diff -- every changed row must be explainable by the change
+being made, otherwise it is exactly the regression this suite exists to
+catch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import networkx as nx
+import pytest
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden_seeds.json")
+
+#: The one seed every snapshot row is produced with.
+GOLDEN_SEED = 1234
+
+#: Graph cell + build seed of the fixed workload.
+GOLDEN_CELL = "regular-n24-d3"
+GOLDEN_GRAPH_SEED = 5
+
+
+def _golden_graph() -> nx.Graph:
+    from repro.scenarios.registry import DEFAULT_REGISTRY
+
+    return DEFAULT_REGISTRY.build_cell(GOLDEN_CELL, seed=GOLDEN_GRAPH_SEED)
+
+
+def _golden_config(name: str) -> dict:
+    """The fixed config each algorithm is snapshotted with (k=2 where
+    accepted, defaults otherwise) -- mirrors the API solver suite."""
+    from repro.api import REGISTRY
+
+    spec = REGISTRY.algorithm(name)
+    return {"k": 2} if "k" in spec.config_keys else {}
+
+
+def _solve_row(name: str, graph: nx.Graph) -> dict:
+    from repro.api import solve
+
+    report = solve(graph, name, seed=GOLDEN_SEED, verify=False,
+                   **_golden_config(name))
+    return {
+        "config": _golden_config(name),
+        "output": sorted(report.output),
+        "rounds": report.rounds,
+    }
+
+
+def regenerate() -> dict:
+    """Recompute every snapshot row (the ``--update`` path)."""
+    from repro.api import REGISTRY
+
+    graph = _golden_graph()
+    return {
+        "_meta": {
+            "cell": GOLDEN_CELL,
+            "graph_seed": GOLDEN_GRAPH_SEED,
+            "seed": GOLDEN_SEED,
+            "regenerate": "PYTHONPATH=src python tests/test_golden_seeds.py "
+                          "--update",
+        },
+        "algorithms": {name: _solve_row(name, graph)
+                       for name in REGISTRY.algorithm_names()},
+    }
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ---------------------------------------------------------------------- tests
+def _algorithm_names() -> list[str]:
+    from repro.api import REGISTRY
+
+    return REGISTRY.algorithm_names()
+
+
+class TestGoldenSeeds:
+    def test_snapshot_covers_every_registered_algorithm(self):
+        golden = _load_golden()
+        missing = set(_algorithm_names()) - set(golden["algorithms"])
+        stale = set(golden["algorithms"]) - set(_algorithm_names())
+        assert not missing and not stale, (
+            f"snapshot out of date (missing={sorted(missing)}, "
+            f"stale={sorted(stale)}); regenerate with "
+            f"{golden['_meta']['regenerate']!r} and review the diff")
+
+    @pytest.mark.parametrize("name", _algorithm_names())
+    def test_output_and_rounds_match_snapshot(self, name):
+        golden = _load_golden()
+        expected = golden["algorithms"][name]
+        actual = _solve_row(name, _golden_graph())
+        hint = (f"algorithm {name!r} drifted from its golden seed snapshot "
+                f"(seed={GOLDEN_SEED}, cell={GOLDEN_CELL}); if intentional, "
+                f"regenerate with {golden['_meta']['regenerate']!r}")
+        assert actual["output"] == expected["output"], f"output set: {hint}"
+        assert actual["rounds"] == expected["rounds"], f"rounds: {hint}"
+
+    def test_snapshot_metadata_matches_this_suite(self):
+        meta = _load_golden()["_meta"]
+        assert meta["cell"] == GOLDEN_CELL
+        assert meta["graph_seed"] == GOLDEN_GRAPH_SEED
+        assert meta["seed"] == GOLDEN_SEED
+
+
+def main(argv: list[str]) -> int:
+    if "--update" not in argv:
+        print(__doc__)
+        print(f"golden file: {GOLDEN_PATH}\npass --update to regenerate")
+        return 2
+    snapshot = regenerate()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(snapshot['algorithms'])} algorithm snapshots "
+          f"to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

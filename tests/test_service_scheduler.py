@@ -90,6 +90,32 @@ class TestSubmit:
 
         run_async(scenario())
 
+    def test_engine_config_passes_through_to_the_worker(self):
+        """The engine backend rides the request config end to end, and the
+        seed-neutral contract holds across the service path: the same
+        workload served under `vector` and `sync` yields identical outputs
+        and rounds with the same derived seed."""
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                vector = await scheduler.submit(SolveRequest(
+                    workload="regular-n24-d3", algorithm="det-ruling-sim",
+                    config=(("engine", "vector"),)))
+                sync = await scheduler.submit(SolveRequest(
+                    workload="regular-n24-d3", algorithm="det-ruling-sim",
+                    config=(("engine", "sync"),)))
+                return vector, sync
+            finally:
+                await scheduler.stop()
+
+        vector, sync = run_async(scenario())
+        assert vector.report.provenance.config_dict["engine"] == "vector"
+        assert sync.report.provenance.config_dict["engine"] == "sync"
+        assert vector.report.output == sync.report.output
+        assert vector.report.rounds == sync.report.rounds
+        assert vector.report.provenance.seed == sync.report.provenance.seed
+        assert vector.key != sync.key  # distinct content addresses
+
     def test_family_name_resolves_to_first_cell(self):
         async def scenario():
             scheduler = make_scheduler()
@@ -270,6 +296,81 @@ class TestPriorityAndAdmission:
                 await scheduler.stop()
 
         run_async(scenario())
+
+
+class TestShutdown:
+    """The shutdown race: ``close()`` must refuse and unblock, never hang."""
+
+    def test_submit_after_close_raises_admission_error(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            await scheduler.submit(REQUEST)
+            await scheduler.close()
+            with pytest.raises(AdmissionError, match="closed"):
+                await scheduler.submit(REQUEST)
+            assert scheduler.counters["rejected"] == 1
+
+        run_async(scenario())
+
+    def test_close_before_first_submit_refuses(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            await scheduler.close()  # never started
+            with pytest.raises(AdmissionError, match="closed"):
+                await scheduler.submit(REQUEST)
+
+        run_async(scenario())
+
+    def test_close_fails_queued_and_coalesced_futures(self, monkeypatch):
+        """Jobs still in the shard queue when the scheduler closes must fail
+        with AdmissionError -- previously their futures were simply
+        abandoned and every submitter (and coalesced waiter) hung forever."""
+        release = threading.Event()
+        real_worker = scheduler_module._worker_solve
+
+        def gated_worker(*args):
+            release.wait(timeout=5)
+            return real_worker(*args)
+
+        monkeypatch.setattr(scheduler_module, "_worker_solve", gated_worker)
+
+        async def scenario():
+            scheduler = make_scheduler(shards=1)
+            running = asyncio.create_task(scheduler.submit(SolveRequest(
+                workload="regular-n24-d3", algorithm="power-mis",
+                config=(("k", 2),), seed=1)))
+            await asyncio.sleep(0.05)  # now occupying the single shard
+            queued = asyncio.create_task(scheduler.submit(SolveRequest(
+                workload="regular-n24-d3", algorithm="power-mis",
+                config=(("k", 2),), seed=2)))
+            await asyncio.sleep(0.05)  # queued behind the gated job
+            coalesced = asyncio.create_task(scheduler.submit(SolveRequest(
+                workload="regular-n24-d3", algorithm="power-mis",
+                config=(("k", 2),), seed=2)))
+            await asyncio.sleep(0.05)  # attached to the queued future
+            try:
+                await asyncio.wait_for(scheduler.close(), timeout=5)
+                results = await asyncio.gather(running, queued, coalesced,
+                                               return_exceptions=True)
+            finally:
+                release.set()
+            return results
+
+        results = run_async(scenario())
+        assert all(isinstance(result, AdmissionError) for result in results), \
+            f"every submitter must unblock with AdmissionError, got {results}"
+
+    def test_close_does_not_restart_consumers(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            await scheduler.submit(REQUEST)
+            await scheduler.close()
+            with pytest.raises(AdmissionError):
+                await scheduler.submit(REQUEST)
+            return len(scheduler._consumers), scheduler._started
+
+        consumers, started = run_async(scenario())
+        assert consumers == 0 and started is False
 
 
 class TestStats:
