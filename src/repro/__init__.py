@@ -54,7 +54,15 @@ import functools as _functools
 import warnings as _warnings
 
 from repro import api
-from repro.api import Certificate, Problem, Provenance, RunReport, replay, solve
+from repro.api import (
+    Certificate,
+    Problem,
+    Provenance,
+    RunReport,
+    replay,
+    solve,
+    solve_batch,
+)
 from repro.api.registry import Algorithm, SolverRegistry
 from repro.congest import (
     ActiveSetEngine,
@@ -199,6 +207,7 @@ __all__ = [
     "replay",
     "shattering_mis",
     "solve",
+    "solve_batch",
     "verify_invariants",
     "verify_ruling_set",
     "__version__",

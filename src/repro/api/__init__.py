@@ -67,6 +67,7 @@ __all__ = [
     "report_from_json",
     "report_to_json",
     "solve",
+    "solve_batch",
 ]
 
 
@@ -81,6 +82,11 @@ REGISTRY = default_solver_registry()
 
 #: Uniform solve against the default registry (also ``repro.solve``).
 solve = REGISTRY.solve
+
+#: Batched seed sweep against the default registry (``repro.solve_batch``):
+#: one certified RunReport per seed, bit-identical to per-seed ``solve``
+#: calls, executed as a single replica batch when the algorithm supports it.
+solve_batch = REGISTRY.solve_batch
 
 #: Re-run a provenance block bit-for-bit (also ``repro.replay``).
 replay = REGISTRY.replay

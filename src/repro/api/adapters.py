@@ -21,6 +21,7 @@ from typing import Hashable
 import networkx as nx
 
 from repro.api.registry import AdapterOutcome, Algorithm, SolveContext, SolverRegistry
+from repro.congest.batch import simulate_replicas
 from repro.congest.network import CongestNetwork
 from repro.core.detsparsify import det_sparsification
 from repro.core.power_sparsify import (
@@ -33,13 +34,19 @@ from repro.decomposition.network_decomposition import network_decomposition
 from repro.graphs.power import bounded_bfs
 from repro.mis.beeping import beeping_mis, beeping_mis_power, simulate_beeping_mis
 from repro.mis.kp12 import kp12_sparsify_power
-from repro.mis.luby import luby_mis, luby_mis_power, simulate_luby_mis
+from repro.mis.luby import LubyMISNode, luby_mis, luby_mis_power, simulate_luby_mis
 from repro.mis.power_mis import power_graph_mis
 from repro.mis.power_ruling import power_graph_ruling_set
+from repro.mis.power_sim import (
+    PowerDetRulingNode,
+    PowerLubyMISNode,
+    simulate_power_det_ruling,
+    simulate_power_luby_mis,
+)
 from repro.mis.shattering import shattering_mis
 from repro.ruling.aglp import aglp_ruling_set, id_based_ruling_set
 from repro.ruling.det_ruling_set import deterministic_power_ruling_set
-from repro.ruling.distributed import simulate_det_ruling_set
+from repro.ruling.distributed import DetRulingSetNode, simulate_det_ruling_set
 from repro.ruling.greedy import greedy_mis, greedy_ruling_set
 
 Node = Hashable
@@ -250,6 +257,21 @@ def _run_ball_graph(graph: nx.Graph, ctx: SolveContext) -> AdapterOutcome:
 
 
 # -------------------------------------------------- simulator-native drivers
+def _sim_metrics(result) -> dict[str, object]:
+    """Uniform metrics of a ``SimulationResult``, incl. engine observability.
+
+    ``engine_requested`` is what the caller asked for; ``engine_used`` is
+    what actually executed (they differ exactly when ``engine="vector"``
+    fell back to its scalar reference -- also surfaced as a
+    :class:`~repro.congest.vector_engine.VectorFallbackWarning`).
+    """
+    return {"messages": result.total_messages, "bits": result.total_bits,
+            "engine": result.engine,
+            "engine_requested": result.engine,
+            "engine_used": result.engine_used or result.engine,
+            "halted": result.halted}
+
+
 def _run_det_ruling_sim(graph: nx.Graph, ctx: SolveContext) -> AdapterOutcome:
     network = CongestNetwork(graph, id_seed=ctx.seed)
     ruling_set, result = simulate_det_ruling_set(network, engine=ctx["engine"],
@@ -257,8 +279,7 @@ def _run_det_ruling_sim(graph: nx.Graph, ctx: SolveContext) -> AdapterOutcome:
     node_ids = dict(network.ids)
     return AdapterOutcome(
         output=ruling_set, rounds=result.rounds,
-        metrics={"messages": result.total_messages, "bits": result.total_bits,
-                 "engine": result.engine, "halted": result.halted},
+        metrics=_sim_metrics(result),
         payload={"node_ids": node_ids, "greedy_reference_ids": node_ids,
                  "result": result})
 
@@ -269,8 +290,7 @@ def _run_luby_sim(graph: nx.Graph, ctx: SolveContext) -> AdapterOutcome:
                                     max_rounds=ctx["max_rounds"])
     return AdapterOutcome(
         output=mis, rounds=result.rounds,
-        metrics={"messages": result.total_messages, "bits": result.total_bits,
-                 "engine": result.engine, "halted": result.halted},
+        metrics=_sim_metrics(result),
         payload={"node_ids": dict(network.ids), "result": result})
 
 
@@ -282,9 +302,90 @@ def _run_beeping_sim(graph: nx.Graph, ctx: SolveContext) -> AdapterOutcome:
                                        max_rounds=ctx["max_rounds"])
     return AdapterOutcome(
         output=mis, rounds=result.rounds,
-        metrics={"messages": result.total_messages, "bits": result.total_bits,
-                 "engine": result.engine, "halted": result.halted},
+        metrics=_sim_metrics(result),
         payload={"node_ids": dict(network.ids), "result": result})
+
+
+def _run_power_luby_sim(graph: nx.Graph, ctx: SolveContext) -> AdapterOutcome:
+    network = CongestNetwork(graph, id_seed=ctx.seed)
+    mis, result = simulate_power_luby_mis(network, ctx["k"], seed=ctx.seed,
+                                          engine=ctx["engine"],
+                                          max_rounds=ctx["max_rounds"])
+    return AdapterOutcome(
+        output=mis, rounds=result.rounds,
+        metrics=_sim_metrics(result),
+        payload={"node_ids": dict(network.ids), "result": result})
+
+
+def _run_power_det_ruling_sim(graph: nx.Graph,
+                              ctx: SolveContext) -> AdapterOutcome:
+    network = CongestNetwork(graph, id_seed=ctx.seed)
+    chosen, result = simulate_power_det_ruling(network, ctx["k"],
+                                               seed=ctx.seed,
+                                               engine=ctx["engine"],
+                                               max_rounds=ctx["max_rounds"])
+    return AdapterOutcome(
+        output=chosen, rounds=result.rounds,
+        metrics=_sim_metrics(result),
+        payload={"node_ids": dict(network.ids), "result": result})
+
+
+# --------------------------------------------------- batched-replica drivers
+def _batch_sim(graph: nx.Graph, ctxs: list[SolveContext],
+               node_factory) -> list[AdapterOutcome]:
+    """Run the contexts of one seed sweep as a single replica batch.
+
+    The solve path guarantees all contexts share one config and differ only
+    in seed, so the sweep maps onto
+    :func:`repro.congest.batch.simulate_replicas` with the adapter's own
+    network construction (``CongestNetwork(graph, id_seed=seed)``) --
+    producing outcomes bit-identical to calling the solo adapter per seed.
+    """
+    seeds = [ctx.seed for ctx in ctxs]
+    networks = [CongestNetwork(graph, id_seed=seed) for seed in seeds]
+    network_iter = iter(networks)
+    # The factories built here close over the sweep's config and ignore the
+    # node label, so the batch may verify one template per replica instead
+    # of constructing all B * n node instances.
+    results = simulate_replicas(
+        graph, node_factory, seeds,
+        engine=ctxs[0]["engine"], max_rounds=ctxs[0]["max_rounds"],
+        network_factory=lambda seed: next(network_iter),
+        uniform_factory=True)
+    return [AdapterOutcome(
+                output={node for node, joined in result.outputs.items()
+                        if joined},
+                rounds=result.rounds,
+                metrics=_sim_metrics(result),
+                payload={"node_ids": dict(network.ids), "result": result})
+            for network, result in zip(networks, results)]
+
+
+def _batch_det_ruling_sim(graph: nx.Graph,
+                          ctxs: list[SolveContext]) -> list[AdapterOutcome]:
+    outcomes = _batch_sim(graph, ctxs, DetRulingSetNode)
+    for outcome in outcomes:
+        node_ids = outcome.payload["node_ids"]
+        outcome.payload["greedy_reference_ids"] = node_ids
+    return outcomes
+
+
+def _batch_luby_sim(graph: nx.Graph,
+                    ctxs: list[SolveContext]) -> list[AdapterOutcome]:
+    return _batch_sim(graph, ctxs, LubyMISNode)
+
+
+def _batch_power_luby_sim(graph: nx.Graph,
+                          ctxs: list[SolveContext]) -> list[AdapterOutcome]:
+    k = ctxs[0]["k"]
+    return _batch_sim(graph, ctxs, lambda node: PowerLubyMISNode(k))
+
+
+def _batch_power_det_ruling_sim(graph: nx.Graph,
+                                ctxs: list[SolveContext],
+                                ) -> list[AdapterOutcome]:
+    k = ctxs[0]["k"]
+    return _batch_sim(graph, ctxs, lambda node: PowerDetRulingNode(k))
 
 
 def register_builtin_algorithms(registry: SolverRegistry) -> SolverRegistry:
@@ -389,6 +490,7 @@ def register_builtin_algorithms(registry: SolverRegistry) -> SolverRegistry:
         defaults=(("engine", "sync"), ("max_rounds", 10_000)),
         seed_neutral=("engine",),
         simulator_native=True, randomized=False,
+        run_batch=_batch_det_ruling_sim,
         description="Deterministic greedy MIS by ID minima on the "
                     "message-passing runtime"))
     register(Algorithm(
@@ -396,6 +498,7 @@ def register_builtin_algorithms(registry: SolverRegistry) -> SolverRegistry:
         defaults=(("engine", "sync"), ("max_rounds", 10_000)),
         seed_neutral=("engine",),
         simulator_native=True,
+        run_batch=_batch_luby_sim,
         description="Luby's MIS of G on the message-passing runtime"))
     register(Algorithm(
         "beeping-sim", "mis-power", _run_beeping_sim,
@@ -403,4 +506,20 @@ def register_builtin_algorithms(registry: SolverRegistry) -> SolverRegistry:
         seed_neutral=("engine",),
         simulator_native=True,
         description="BeepingMIS of G on the message-passing runtime"))
+    register(Algorithm(
+        "power-luby-sim", "mis-power", _run_power_luby_sim,
+        defaults=(("engine", "sync"), ("k", 1), ("max_rounds", 10_000)),
+        seed_neutral=("engine",),
+        simulator_native=True,
+        run_batch=_batch_power_luby_sim,
+        description="Luby's MIS of G^k by k-hop flooding (2k rounds per "
+                    "G^k step) on the message-passing runtime"))
+    register(Algorithm(
+        "power-det-ruling-sim", "mis-power", _run_power_det_ruling_sim,
+        defaults=(("engine", "sync"), ("k", 1), ("max_rounds", 10_000)),
+        seed_neutral=("engine",),
+        simulator_native=True, randomized=False,
+        run_batch=_batch_power_det_ruling_sim,
+        description="Deterministic greedy MIS of G^k by ID minima "
+                    "((k+1,k)-ruling set of G) on the message-passing runtime"))
     return registry

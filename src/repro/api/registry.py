@@ -114,6 +114,14 @@ class Algorithm:
     #: the same seed and produce bit-identical outputs.  ``replay`` accepts
     #: overrides for exactly these keys.
     seed_neutral: tuple[str, ...] = ()
+    #: Optional batched runner ``run_batch(graph, [ctx, ...]) -> [outcome,
+    #: ...]`` executing one seed sweep (shared graph and config, one context
+    #: per seed) as a single batch.  Must be bit-identical, outcome by
+    #: outcome, to calling :attr:`run` once per context;
+    #: :meth:`SolverRegistry.solve_batch` falls back to exactly that loop
+    #: when the field is ``None``.
+    run_batch: Callable[[nx.Graph, "list[SolveContext]"],
+                        "list[AdapterOutcome]"] | None = None
 
     @property
     def config_keys(self) -> frozenset[str]:
@@ -256,14 +264,54 @@ class SolverRegistry:
         ``verify=True`` attaches the problem certifier's Certificate.
         """
         plan = self.plan(graph, problem_or_algorithm, seed=seed, **config)
-        spec = plan.algorithm
-        resolved = plan.config_dict
-        ctx = SolveContext(config=resolved, seed=plan.seed,
+        ctx = SolveContext(config=plan.config_dict, seed=plan.seed,
                            rng=random.Random(plan.seed))
-        outcome = spec.run(graph, ctx)
+        outcome = plan.algorithm.run(graph, ctx)
+        return self._finish(graph, plan, outcome, verify=verify)
 
+    def solve_batch(self, graph: nx.Graph,
+                    problem_or_algorithm: str | Algorithm | Problem, *,
+                    seeds: Any, verify: bool = True,
+                    **config: Any) -> list[RunReport]:
+        """Run one algorithm for many explicit seeds; one RunReport per seed.
+
+        Semantically equivalent to ``[solve(graph, ..., seed=s, **config)
+        for s in seeds]`` -- every report is certified and replayable on
+        its own (policy ``"explicit"``) -- but algorithms that declare a
+        batched runner (:attr:`Algorithm.run_batch`) execute the whole
+        sweep as a single batch: the simulator-native drivers run all
+        replicas as one array program over the shared topology
+        (:func:`repro.congest.batch.simulate_replicas`), sharing CSR
+        neighbor structure and round loops across seeds while keeping each
+        replica's RNG streams, transport accounting and outputs
+        bit-identical to its solo run.
+        """
+        seed_list = [int(s) for s in seeds]
+        if not seed_list:
+            return []
+        plans = [self.plan(graph, problem_or_algorithm, seed=s, **config)
+                 for s in seed_list]
+        spec = plans[0].algorithm
+        ctxs = [SolveContext(config=plan.config_dict, seed=plan.seed,
+                             rng=random.Random(plan.seed))
+                for plan in plans]
+        if spec.run_batch is not None:
+            outcomes = spec.run_batch(graph, ctxs)
+            if len(outcomes) != len(ctxs):
+                raise RuntimeError(
+                    f"algorithm {spec.name!r} run_batch returned "
+                    f"{len(outcomes)} outcomes for {len(ctxs)} seeds")
+        else:
+            outcomes = [spec.run(graph, ctx) for ctx in ctxs]
+        return [self._finish(graph, plan, outcome, verify=verify)
+                for plan, outcome in zip(plans, outcomes)]
+
+    def _finish(self, graph: nx.Graph, plan: SolvePlan,
+                outcome: AdapterOutcome, *, verify: bool) -> RunReport:
+        """Certify an adapter outcome and assemble its RunReport."""
         from repro import __version__ as library_version  # late: avoids cycle
 
+        spec = plan.algorithm
         provenance = Provenance(
             algorithm=spec.name,
             problem=spec.problem,
@@ -278,7 +326,8 @@ class SolverRegistry:
         certificate = None
         if verify:
             certificate = self._problems[spec.problem].certify(
-                graph, outcome.output, config=resolved, payload=outcome.payload)
+                graph, outcome.output, config=plan.config_dict,
+                payload=outcome.payload)
         return RunReport(output=outcome.output, rounds=outcome.rounds,
                          provenance=provenance, metrics=outcome.metrics,
                          payload=outcome.payload, certificate=certificate)

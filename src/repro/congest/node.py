@@ -18,6 +18,7 @@ communication is restricted (the scheduler enforces per-edge bandwidth).
 
 from __future__ import annotations
 
+import random
 from typing import Any, Hashable, Mapping
 
 from repro.congest.message import Broadcast
@@ -56,7 +57,7 @@ class NodeAlgorithm:
         self.node: Node = None
         self.node_id: int = -1
         self.neighbors: tuple[Node, ...] = ()
-        self.neighbor_ids: dict[Node, int] = {}
+        self.neighbor_ids = {}
         self.n: int = 0
         self.rng = None  # type: ignore[assignment]
         self._halted = False
@@ -101,6 +102,42 @@ class NodeAlgorithm:
     @property
     def halted(self) -> bool:
         return self._halted
+
+    # --------------------------------------------------------- lazy bindings
+    # The simulator binds ``rng`` and ``neighbor_ids`` lazily: the RNG stream
+    # is a pure function of the stored seed string and the neighbor-ID table
+    # a pure function of the topology row, so first-access construction is
+    # bit-identical to eager binding -- and the vector/batch backends, which
+    # read IDs straight from the topology arrays, never pay for either.
+
+    @property
+    def rng(self) -> "random.Random | None":
+        rng = self._rng
+        if rng is None and self._rng_seed is not None:
+            rng = self._rng = random.Random(self._rng_seed)
+        return rng
+
+    @rng.setter
+    def rng(self, value) -> None:
+        self._rng = value
+        self._rng_seed: str | None = None
+
+    @property
+    def neighbor_ids(self) -> dict[Node, int]:
+        ids = self._neighbor_ids
+        if ids is None:
+            topology, index = self._id_binding
+            congest_ids = topology.congest_ids
+            route = topology.routes[index]
+            ids = self._neighbor_ids = {
+                nbr: congest_ids[route[nbr][0]]
+                for nbr in topology.neighbor_labels[index]}
+        return ids
+
+    @neighbor_ids.setter
+    def neighbor_ids(self, value) -> None:
+        self._neighbor_ids = value
+        self._id_binding: "tuple[Any, int] | None" = None
 
     # -------------------------------------------------------------- helpers
     def broadcast(self, payload: Any) -> dict[Node, Any]:

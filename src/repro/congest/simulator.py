@@ -26,7 +26,6 @@ The facade still returns the same :class:`SimulationResult`; its
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Type
 
@@ -110,6 +109,11 @@ class SimulationResult:
     #: :class:`LazyEdgeCounts` view (same mapping API, compares equal).
     edge_message_counts: Mapping[tuple[Node, Node], int] = field(default_factory=dict)
     engine: str = SyncEngine.name
+    #: The engine that *actually* executed the run: equals ``engine`` except
+    #: when the vector engine fell back to its scalar reference (then
+    #: ``engine="vector"`` but ``engine_used="sync"``).  Empty string on
+    #: results built before the field existed.
+    engine_used: str = ""
 
     def max_edge_congestion(self) -> int:
         """The maximum number of messages carried by any single edge."""
@@ -184,15 +188,18 @@ class Simulator:
     def _bind(self, instance: NodeAlgorithm, index: int) -> None:
         topology = self.topology
         congest_id = topology.congest_ids[index]
-        neighbor_labels = topology.neighbor_labels[index]
-        route = topology.routes[index]
         instance.node = topology.labels[index]
         instance.node_id = congest_id
-        instance.neighbors = neighbor_labels
-        instance.neighbor_ids = {
-            nbr: topology.congest_ids[route[nbr][0]] for nbr in neighbor_labels}
+        instance.neighbors = topology.neighbor_labels[index]
+        # rng / neighbor_ids materialise on first access (NodeAlgorithm's
+        # lazy-binding properties); the streams and tables are identical to
+        # eager construction, but paths that never read them (the array
+        # backends, deterministic kernels) skip the O(n) setup entirely.
+        instance._neighbor_ids = None
+        instance._id_binding = (topology, index)
         instance.n = topology.n
-        instance.rng = random.Random(f"{self.seed}:{congest_id}")
+        instance._rng = None
+        instance._rng_seed = f"{self.seed}:{congest_id}"
         instance._lazy_broadcast = True
 
     # ----------------------------------------------------------------- run
@@ -233,6 +240,8 @@ class Simulator:
             halted=halted,
             edge_message_counts=LazyEdgeCounts(transport),
             engine=self.engine.name,
+            engine_used=getattr(self.engine, "last_engine_used",
+                                self.engine.name),
         )
         for observer in observers:
             observer.on_run_end(result)

@@ -25,6 +25,7 @@ graph queries either.
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING, Hashable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -33,6 +34,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 Node = Hashable
 
 __all__ = ["TopologySnapshot"]
+
+#: Per-graph structural cache: every snapshot of the same graph object shares
+#: one :class:`_GraphStructure` (CSR, routes, numpy arrays, power views).
+#: Replica sweeps build B networks over one graph; only the identifier table
+#: differs per replica, so the O(n + m) construction happens once per graph.
+_STRUCTURES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 class _TopologyArrays:
@@ -44,6 +51,105 @@ class _TopologyArrays:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"_TopologyArrays({', '.join(sorted(self.__dict__))})"
+
+
+class _GraphStructure:
+    """The graph-determined part of a snapshot, shared across networks.
+
+    Everything here depends only on the graph's iteration order and edges --
+    not on the network's CONGEST identifier assignment -- so B replica
+    networks over one graph share a single instance, including the lazily
+    built numpy CSR arrays and ``PowerView`` caches.
+    """
+
+    __slots__ = (
+        "n",
+        "edge_count",
+        "labels",
+        "index_of",
+        "indptr",
+        "neighbor_indices",
+        "neighbor_labels",
+        "routes",
+        "broadcast_routes",
+        "broadcast_rows",
+        "degrees",
+        "edge_endpoints",
+        "edge_labels",
+        "max_degree",
+        "numpy_cache",
+        "power_views",
+        "__weakref__",
+    )
+
+    def __init__(self, graph) -> None:
+        labels: tuple[Node, ...] = tuple(graph.nodes())
+        index_of: dict[Node, int] = {label: i for i, label in enumerate(labels)}
+
+        indptr: list[int] = [0]
+        neighbor_indices: list[int] = []
+        neighbor_labels: list[tuple[Node, ...]] = []
+        routes: list[dict[Node, tuple[int, int, int]]] = []
+        edge_of_pair: dict[tuple[int, int], int] = {}
+        edge_endpoints: list[tuple[int, int]] = []
+
+        for u, label in enumerate(labels):
+            nbr_labels = tuple(graph.neighbors(label))
+            route: dict[Node, tuple[int, int, int]] = {}
+            for nbr_label in nbr_labels:
+                v = index_of[nbr_label]
+                pair = (u, v) if u < v else (v, u)
+                edge = edge_of_pair.get(pair)
+                if edge is None:
+                    edge = len(edge_endpoints)
+                    edge_of_pair[pair] = edge
+                    edge_endpoints.append(pair)
+                neighbor_indices.append(v)
+                route[nbr_label] = (v, edge, 2 * edge + (0 if u < v else 1))
+            indptr.append(len(neighbor_indices))
+            neighbor_labels.append(nbr_labels)
+            routes.append(route)
+
+        self.n = len(labels)
+        self.edge_count = len(edge_endpoints)
+        self.labels = labels
+        self.index_of = index_of
+        self.indptr = indptr
+        self.neighbor_indices = neighbor_indices
+        self.neighbor_labels = tuple(neighbor_labels)
+        self.routes = tuple(routes)
+        # Route triples in neighbor order (dicts preserve insertion order),
+        # for broadcast-style outboxes that cover every neighbor; the paired
+        # flat rows serve the transport's tight full-duplex loop.
+        self.broadcast_routes = tuple(tuple(route.values()) for route in routes)
+        self.broadcast_rows = tuple(
+            (tuple(t[0] for t in triples), tuple(t[1] for t in triples))
+            for triples in self.broadcast_routes)
+        self.degrees = tuple(indptr[i + 1] - indptr[i] for i in range(len(labels)))
+        self.edge_endpoints = edge_endpoints
+        self.edge_labels = tuple((labels[u], labels[v]) for u, v in edge_endpoints)
+        self.max_degree = max(self.degrees, default=0)
+        self.numpy_cache = None
+        self.power_views = {}
+
+
+def _structure_of(graph) -> _GraphStructure:
+    """The shared structure of ``graph``, rebuilt if the graph changed size.
+
+    The (n, m) guard catches the common mutation (nodes or edges added or
+    removed between networks); graphs are otherwise treated as immutable
+    inputs, like the fingerprint memo does.
+    """
+    structure = _STRUCTURES.get(graph)
+    if (structure is None
+            or structure.n != graph.number_of_nodes()
+            or structure.edge_count != graph.number_of_edges()):
+        structure = _GraphStructure(graph)
+        try:
+            _STRUCTURES[graph] = structure
+        except TypeError:  # non-weakrefable graph type: skip the cache
+            pass
+    return structure
 
 
 class TopologySnapshot:
@@ -94,59 +200,22 @@ class TopologySnapshot:
         "edge_endpoints",
         "edge_labels",
         "max_degree",
+        "_structure",
         "_numpy_cache",
     )
 
     def __init__(self, network: "CongestNetwork") -> None:
-        graph = network.graph
-        labels: tuple[Node, ...] = tuple(graph.nodes())
-        index_of: dict[Node, int] = {label: i for i, label in enumerate(labels)}
+        structure = _structure_of(network.graph)
+        self._structure = structure
+        for name in ("n", "edge_count", "labels", "index_of", "indptr",
+                     "neighbor_indices", "neighbor_labels", "routes",
+                     "broadcast_routes", "broadcast_rows", "degrees",
+                     "edge_endpoints", "edge_labels", "max_degree"):
+            setattr(self, name, getattr(structure, name))
+        # The only network-dependent state: the CONGEST identifier table
+        # (and, lazily, its numpy mirror inside the arrays namespace).
         node_id = network.node_id
-
-        indptr: list[int] = [0]
-        neighbor_indices: list[int] = []
-        neighbor_labels: list[tuple[Node, ...]] = []
-        routes: list[dict[Node, tuple[int, int, int]]] = []
-        edge_of_pair: dict[tuple[int, int], int] = {}
-        edge_endpoints: list[tuple[int, int]] = []
-
-        for u, label in enumerate(labels):
-            nbr_labels = tuple(graph.neighbors(label))
-            route: dict[Node, tuple[int, int, int]] = {}
-            for nbr_label in nbr_labels:
-                v = index_of[nbr_label]
-                pair = (u, v) if u < v else (v, u)
-                edge = edge_of_pair.get(pair)
-                if edge is None:
-                    edge = len(edge_endpoints)
-                    edge_of_pair[pair] = edge
-                    edge_endpoints.append(pair)
-                neighbor_indices.append(v)
-                route[nbr_label] = (v, edge, 2 * edge + (0 if u < v else 1))
-            indptr.append(len(neighbor_indices))
-            neighbor_labels.append(nbr_labels)
-            routes.append(route)
-
-        self.n = len(labels)
-        self.edge_count = len(edge_endpoints)
-        self.labels = labels
-        self.index_of = index_of
-        self.congest_ids = tuple(node_id(label) for label in labels)
-        self.indptr = indptr
-        self.neighbor_indices = neighbor_indices
-        self.neighbor_labels = tuple(neighbor_labels)
-        self.routes = tuple(routes)
-        # Route triples in neighbor order (dicts preserve insertion order),
-        # for broadcast-style outboxes that cover every neighbor; the paired
-        # flat rows serve the transport's tight full-duplex loop.
-        self.broadcast_routes = tuple(tuple(route.values()) for route in routes)
-        self.broadcast_rows = tuple(
-            (tuple(t[0] for t in triples), tuple(t[1] for t in triples))
-            for triples in self.broadcast_routes)
-        self.degrees = tuple(indptr[i + 1] - indptr[i] for i in range(len(labels)))
-        self.edge_endpoints = edge_endpoints
-        self.edge_labels = tuple((labels[u], labels[v]) for u, v in edge_endpoints)
-        self.max_degree = max(self.degrees, default=0)
+        self.congest_ids = tuple(node_id(label) for label in self.labels)
         self._numpy_cache = None
 
     # -------------------------------------------------------------- arrays
@@ -167,24 +236,63 @@ class TopologySnapshot:
         if self._numpy_cache is None:
             import numpy as np
 
-            indptr = np.asarray(self.indptr, dtype=np.int64)
-            degrees = np.asarray(self.degrees, dtype=np.int64)
-            arrays = _TopologyArrays(
-                indptr=indptr,
-                neighbor_indices=np.asarray(self.neighbor_indices,
-                                            dtype=np.int64),
-                rows=np.repeat(np.arange(self.n, dtype=np.int64), degrees),
-                degrees=degrees,
-                congest_ids=np.asarray(self.congest_ids, dtype=np.int64),
-                edge_u=np.asarray([u for u, _ in self.edge_endpoints],
-                                  dtype=np.int64),
-                edge_v=np.asarray([v for _, v in self.edge_endpoints],
-                                  dtype=np.int64),
-            )
-            for array in vars(arrays).values():
-                array.setflags(write=False)
-            self._numpy_cache = arrays
+            structure = self._structure
+            if structure.numpy_cache is None:
+                # Index arrays (node indices and CSR positions) are downcast
+                # to int32 when every stored value provably fits: positions
+                # go up to 2m (indptr), indices up to n - 1.  This halves
+                # the CSR memory of the million-node workloads; value arrays
+                # (congest_ids, degrees) stay int64 -- they feed arithmetic,
+                # not indexing.  Structural arrays live on the shared
+                # per-graph structure, so replica sweeps build them once.
+                index_dtype = (np.int32 if max(self.n, 2 * self.edge_count)
+                               < 2 ** 31 else np.int64)
+                indptr = np.asarray(self.indptr, dtype=index_dtype)
+                degrees = np.asarray(self.degrees, dtype=np.int64)
+                shared = {
+                    "indptr": indptr,
+                    "neighbor_indices": np.asarray(self.neighbor_indices,
+                                                   dtype=index_dtype),
+                    "rows": np.repeat(np.arange(self.n, dtype=index_dtype),
+                                      degrees),
+                    "degrees": degrees,
+                    "edge_u": np.asarray([u for u, _ in self.edge_endpoints],
+                                         dtype=index_dtype),
+                    "edge_v": np.asarray([v for _, v in self.edge_endpoints],
+                                         dtype=index_dtype),
+                }
+                # No-overflow guard for the downcast: the last CSR pointer
+                # is the largest stored position and must round-trip exactly.
+                assert int(indptr[-1]) == 2 * self.edge_count
+                for array in shared.values():
+                    array.setflags(write=False)
+                shared["index_dtype"] = index_dtype
+                structure.numpy_cache = shared
+            congest_ids = np.asarray(self.congest_ids, dtype=np.int64)
+            congest_ids.setflags(write=False)
+            self._numpy_cache = _TopologyArrays(congest_ids=congest_ids,
+                                                **structure.numpy_cache)
         return self._numpy_cache
+
+    def power_view(self, k: int, *, tile_bytes: int | None = None):
+        """The cached lazy ``G^k`` adjacency view for power ``k``.
+
+        Built on first request (like :meth:`numpy_arrays`) and cached per
+        ``k`` on the shared per-graph structure, so every network over the
+        same graph -- in particular the B replicas of a batched sweep --
+        reuses one view; see :class:`repro.congest.power_view.PowerView`.
+        The view never materialises ``G^k`` -- queries run a tiled
+        multi-source BFS over the base CSR arrays.
+        """
+        views = self._structure.power_views
+        view = views.get(k)
+        if view is None:
+            from repro.congest.power_view import DEFAULT_TILE_BYTES, PowerView
+
+            view = PowerView(self, k,
+                             tile_bytes=tile_bytes or DEFAULT_TILE_BYTES)
+            views[k] = view
+        return view
 
     # ------------------------------------------------------------- queries
     def neighbors(self, index: int) -> list[int]:

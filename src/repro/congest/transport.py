@@ -92,8 +92,12 @@ class Transport:
         #: When true (instrumented runs), bulk deposits always take the
         #: fully-accounted path so :meth:`round_profile` sees per-slot loads.
         self.profile_slots = profile_slots
-        slots = topology.edge_count if half_duplex else 2 * topology.edge_count
-        self._slot_bits = [0] * slots
+        # Per-slot load tracking backs the deposit paths only; engines that
+        # account traffic in aggregate (absorb_aggregates) never deposit, so
+        # the O(m) lists materialise lazily on the first deposit.  The
+        # touched-slot sweeps in round_profile/end_round are safe either
+        # way: nothing is touched until a deposit runs.
+        self._slot_bits: list[int] | None = None
         self._touched_slots: list[int] = []
         #: ``inbox_table[i]`` is node ``i``'s inbox for the round in flight,
         #: or ``None`` if it received nothing yet.  Engines read it directly
@@ -107,9 +111,18 @@ class Transport:
         self.round_messages = 0
         self.round_bits = 0
         # Round stamp per sender, detecting repeated bulk deposits within one
-        # round (which force the slow, fully-accounted path).
-        self._bulk_stamps = [0] * topology.n
+        # round (which force the slow, fully-accounted path).  Lazy with
+        # _slot_bits: only deposit paths read it.
+        self._bulk_stamps: list[int] | None = None
         self._round_token = 1
+
+    def _ensure_slot_state(self) -> None:
+        """Materialise the per-slot deposit bookkeeping on first use."""
+        topology = self.topology
+        slots = (topology.edge_count if self.half_duplex
+                 else 2 * topology.edge_count)
+        self._slot_bits = [0] * slots
+        self._bulk_stamps = [0] * topology.n
 
     # ------------------------------------------------------------- sending
     def deposit(self, sender_label: Node, sender_index: int, receiver_index: int,
@@ -122,6 +135,8 @@ class Transport:
         off, so congestion-measurement runs see the true load.
         """
         bits = message_bits(payload)
+        if self._slot_bits is None:
+            self._ensure_slot_state()
         # Stamp the sender so a bulk deposit later in this round takes the
         # fully-accounted path and sees this message's slot load.
         self._bulk_stamps[sender_index] = self._round_token
@@ -163,6 +178,8 @@ class Transport:
         topology = self.topology
         route_get = topology.routes[sender_index].get
         sender_label = topology.labels[sender_index]
+        if self._slot_bits is None:
+            self._ensure_slot_state()
         slot_bits = self._slot_bits
         touched_slots = self._touched_slots
         inbox_table = self.inbox_table
@@ -245,6 +262,8 @@ class Transport:
             return
         sender_label = topology.labels[sender_index]
         bits = message_bits(payload)
+        if self._slot_bits is None:
+            self._ensure_slot_state()
         if not (self.half_duplex or observers or self.profile_slots
                 or self._bulk_stamps[sender_index] == self._round_token):
             self._bulk_stamps[sender_index] = self._round_token

@@ -33,7 +33,8 @@ else silently falls back to the (bit-identical) :class:`SyncEngine`, so
 * every node runs exactly the same :class:`~repro.congest.node.
   NodeAlgorithm` class, and that class has a registered
   :class:`VectorProgram` (shipping programs: ``LubyMISNode``,
-  ``BeepingMISNode``, ``DetRulingSetNode``);
+  ``BeepingMISNode``, ``DetRulingSetNode``, ``PowerLubyMISNode``,
+  ``PowerDetRulingNode``);
 * no observers are attached and the transport is not instrumented
   (``profile_slots``): per-message hooks are inherently scalar;
 * the transport is full-duplex (the standard CONGEST convention; the
@@ -56,6 +57,7 @@ intentionally do not inherit a program: they may override ``send`` /
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
 try:  # numpy is an optional accelerator, not a hard dependency
@@ -73,7 +75,20 @@ from repro.congest.engine import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.congest.transport import Transport
 
-__all__ = ["VectorEngine", "VectorProgram", "register_vector_program"]
+__all__ = ["VectorEngine", "VectorFallbackWarning", "VectorProgram",
+           "register_vector_program"]
+
+
+class VectorFallbackWarning(RuntimeWarning):
+    """Emitted when ``engine="vector"`` silently executes on the sync engine.
+
+    The fallback is always *correct* (the engines are bit-identical), but a
+    benchmark that believes it measured the vector backend while the run
+    fell back would report numbers for the wrong engine.  The warning makes
+    the substitution observable; ``SimulationResult.engine_used`` (and the
+    ``engine_used`` metric of the simulator-native solve adapters) records
+    it machine-readably.
+    """
 
 #: Sentinel for "no active neighbor" in segment minima (int64 max).
 _SENTINEL = (1 << 63) - 1
@@ -115,28 +130,52 @@ def _int_message_bits(values: "np.ndarray") -> "np.ndarray":
 
 
 class _SegmentOps:
-    """Masked neighbor aggregations over the CSR arrays of one topology."""
+    """Masked neighbor aggregations over the CSR arrays of one topology.
+
+    The per-position gather/mask work happens inside two persistent padded
+    buffers (one int64, one bool; last slot holds the segment-pad identity)
+    so a reduction's transient footprint is O(1) buffers rather than a
+    fresh ``2m``-slot array per expression -- at power scale the round
+    loop's peak allocation is gated below a materialized ``G^k`` CSR.
+    """
 
     def __init__(self, arrays) -> None:
         self.starts = arrays.indptr[:-1]
         self.nbr = arrays.neighbor_indices
         self.rows = arrays.rows
         self.empty = arrays.degrees == 0
+        self._vals = np.full(len(self.nbr) + 1, _SENTINEL, dtype=np.int64)
+        self._flags = np.zeros(len(self.nbr) + 1, dtype=bool)
 
-    def _reduce_min(self, per_position: "np.ndarray") -> "np.ndarray":
-        padded = np.append(per_position, _SENTINEL)
-        mins = np.minimum.reduceat(padded, self.starts)
+    def _reduce_min(self) -> "np.ndarray":
+        """Min per CSR segment of the padded value buffer."""
+        mins = np.minimum.reduceat(self._vals, self.starts)
         # reduceat yields the *next* segment's head for empty segments;
         # degree-0 rows have no neighbors by definition.
         mins[self.empty] = _SENTINEL
         return mins
 
+    def _gather_masked(self, values: "np.ndarray", keep: "np.ndarray",
+                       ) -> "np.ndarray":
+        """Fill the value buffer with ``values[nbr]`` where ``keep``, else
+        sentinel; returns the per-position view (buffer-owned).
+
+        ``mode="clip"`` keeps the take truly in-place: the default
+        ``"raise"`` mode buffers through a fresh ``2m``-slot temporary to
+        support rollback, which is exactly the allocation the persistent
+        buffer exists to avoid (CSR indices are in-range by construction).
+        """
+        per_position = self._vals[:-1]
+        np.take(values, self.nbr, out=per_position, mode="clip")
+        np.copyto(per_position, _SENTINEL, where=~keep)
+        return per_position
+
     def min_over_active(self, values: "np.ndarray", active: "np.ndarray",
                         ) -> "np.ndarray":
         """Per-node min of ``values[v]`` over active neighbors ``v`` (else
         sentinel)."""
-        per_position = np.where(active[self.nbr], values[self.nbr], _SENTINEL)
-        return self._reduce_min(per_position)
+        self._gather_masked(values, active[self.nbr])
+        return self._reduce_min()
 
     def min_pair_over_active(self, values: "np.ndarray", ids: "np.ndarray",
                              active: "np.ndarray",
@@ -144,19 +183,23 @@ class _SegmentOps:
         """Lexicographic per-node min of ``(values[v], ids[v])`` over active
         neighbors: the exact semantics of ``min()`` over a tuple inbox."""
         nbr_active = active[self.nbr]
-        nbr_values = values[self.nbr]
-        min_values = self._reduce_min(
-            np.where(nbr_active, nbr_values, _SENTINEL))
-        ties = nbr_active & (nbr_values == min_values[self.rows])
-        min_ids = self._reduce_min(np.where(ties, ids[self.nbr], _SENTINEL))
-        return min_values, min_ids
+        per_position = self._gather_masked(values, nbr_active)
+        min_values = self._reduce_min()
+        # Masked positions hold the sentinel, which only matches
+        # min_values[row] when the row has no active neighbor -- the
+        # nbr_active conjunction excludes exactly those positions, so the
+        # tie set equals the unmasked ``values[nbr] == min`` one.
+        ties = nbr_active
+        ties &= per_position == min_values[self.rows]
+        self._gather_masked(ids, ties)
+        return min_values, self._reduce_min()
 
     def any_neighbor(self, flags: "np.ndarray") -> "np.ndarray":
         """Per-node: does any neighbor have ``flags[v]`` set?"""
-        padded = np.append(flags[self.nbr].astype(np.int8), 0)
-        counts = np.add.reduceat(padded, self.starts)
-        counts[self.empty] = 0
-        return counts > 0
+        np.take(flags, self.nbr, out=self._flags[:-1], mode="clip")
+        hits = np.logical_or.reduceat(self._flags, self.starts)
+        hits[self.empty] = False
+        return hits
 
 
 class _Accountant:
@@ -179,7 +222,8 @@ class _Accountant:
         self.edge_v = arrays.edge_v
         self.nbr = arrays.neighbor_indices
         self.starts = arrays.indptr[:-1]
-        self.edge_counts = np.zeros(len(arrays.edge_u), dtype=np.int64)
+        # int32 halves the footprint; counts are bounded by the round limit.
+        self.edge_counts = np.zeros(len(arrays.edge_u), dtype=np.int32)
         self.messages = 0
         self.bits = 0
 
@@ -208,12 +252,12 @@ class _Accountant:
             self.bits += message_count * payload_bits
         else:
             self.bits += int((degrees[senders] * payload_bits[senders]).sum())
-        self.edge_counts += (senders[self.edge_u].astype(np.int64)
-                             + senders[self.edge_v].astype(np.int64))
+        self.edge_counts += senders[self.edge_u]
+        self.edge_counts += senders[self.edge_v]
 
     def flush(self) -> None:
         self.transport.absorb_aggregates(self.messages, self.bits,
-                                         self.edge_counts.tolist())
+                                         self.edge_counts)
 
 
 # ----------------------------------------------------------------- programs
@@ -412,20 +456,184 @@ class _DetRulingProgram(VectorProgram):
         return rounds
 
 
+class _PowerFloodProgram(VectorProgram):
+    """Shared vector execution of the ``2k``-sub-round power-graph floods
+    (:mod:`repro.mis.power_sim`): min-flood over ``k`` hops, winner-flag
+    flood over ``k`` hops, relay halting.  ``G^k`` is never materialised --
+    every sub-round is one segment reduction over the *base* CSR arrays."""
+
+    #: Subclasses: does phase A flood ``(priority, id)`` pairs (True) or
+    #: bare IDs (False)?  Decides payload drawing and message bit widths.
+    randomized = True
+
+    @classmethod
+    def supports(cls, runtime: Runtime) -> bool:
+        first = runtime.instances[0]
+        k = getattr(first, "k", None)
+        if not (isinstance(k, int) and k >= 1):
+            return False
+        if any(getattr(inst, "k", None) != k for inst in runtime.instances):
+            return False
+        if not cls.randomized:
+            return True
+        space = getattr(first, "_priority_space", None)
+        return isinstance(space, int) and 0 < space <= (1 << 62)
+
+    def run(self, max_rounds: int) -> int:
+        instances = self.instances
+        node_class = type(instances[0])
+        n = len(instances)
+        ids = self.arrays.congest_ids
+        id_bits = _int_message_bits(ids)
+        k = instances[0].k
+        period = 2 * k
+        if self.randomized:
+            rngs = [inst.rng for inst in instances]
+            space = instances[0]._priority_space
+
+        live = self.live.copy()
+        undecided = live.copy()
+        in_mis = np.zeros(n, dtype=bool)
+        dominated = np.zeros(n, dtype=bool)
+        halted = np.zeros(n, dtype=bool)
+        pair_v = np.zeros(n, dtype=np.int64)
+        pair_i = ids.copy()
+        best_v = np.full(n, _SENTINEL, dtype=np.int64)
+        best_i = np.full(n, _SENTINEL, dtype=np.int64)
+        heard_any = np.zeros(n, dtype=bool)
+        heard_flag = np.zeros(n, dtype=bool)
+        improved = np.zeros(n, dtype=bool)
+        flag_new = np.zeros(n, dtype=bool)
+
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            if not live.any():
+                break
+            rounds = round_number
+            sub = (round_number - 1) % period + 1
+            if sub <= k:
+                # ----------------------------------- phase A: min-flood
+                if sub == 1:
+                    heard_any.fill(False)
+                    heard_flag.fill(False)
+                    flag_new.fill(False)
+                    best_v.fill(_SENTINEL)
+                    best_i.fill(_SENTINEL)
+                    senders = undecided
+                    if self.randomized:
+                        active_idx = np.flatnonzero(undecided)
+                        pair_v[active_idx] = np.fromiter(
+                            (rngs[i].randrange(space) for i in active_idx),
+                            dtype=np.int64, count=len(active_idx))
+                    best_v[undecided] = pair_v[undecided]
+                    best_i[undecided] = pair_i[undecided]
+                else:
+                    senders = live & improved
+                if self.randomized:
+                    # (value, id) tuples: value bits + id bits + tuple bit.
+                    payload_bits = (_int_message_bits(best_v)
+                                    + _int_message_bits(best_i) + 1)
+                else:
+                    payload_bits = _int_message_bits(best_i)
+                self.accountant.broadcast_round(senders, payload_bits)
+                min_v, min_i = self.segments.min_pair_over_active(
+                    best_v, best_i, senders)
+                smaller = live & (
+                    (min_v < best_v)
+                    | ((min_v == best_v) & (min_i < best_i)))
+                best_v = np.where(smaller, min_v, best_v)
+                best_i = np.where(smaller, min_i, best_i)
+                improved = smaller
+                heard_any |= live & self.segments.any_neighbor(senders)
+                if sub == k:
+                    # Relays with no undecided node within distance k halt.
+                    quiet = live & ~undecided & ~heard_any
+                    halted |= quiet
+                    live &= ~quiet
+            else:
+                # ----------------------------- phase B: winner-flag flood
+                if sub == k + 1:
+                    senders = (undecided & (best_v == pair_v)
+                               & (best_i == pair_i))
+                    heard_flag |= senders
+                else:
+                    senders = live & flag_new
+                self.accountant.broadcast_round(senders, 1)
+                incoming = live & self.segments.any_neighbor(senders)
+                flag_new = incoming & ~heard_flag
+                heard_flag |= incoming
+                if sub == period:
+                    winners = (undecided & (best_v == pair_v)
+                               & (best_i == pair_i))
+                    new_dominated = undecided & ~winners & heard_flag
+                    in_mis |= winners
+                    dominated |= new_dominated
+                    undecided &= ~(winners | new_dominated)
+        self.accountant.flush()
+
+        for index in np.flatnonzero(in_mis):
+            instances[index].state = node_class.IN_MIS
+        for index in np.flatnonzero(dominated):
+            instances[index].state = node_class.DOMINATED
+        for index in np.flatnonzero(halted):
+            self._halt(instances[index], bool(in_mis[index]))
+        return rounds
+
+
+class _PowerLubyProgram(_PowerFloodProgram):
+    """Batched Luby MIS on ``G^k``: priorities from the per-node RNG streams,
+    flooded ``k`` hops over the base CSR."""
+
+    randomized = True
+
+    @classmethod
+    def supports(cls, runtime: Runtime) -> bool:
+        if not super().supports(runtime):
+            return False
+        # The lexicographic (priority, id) minimum must match tuple order:
+        # requires the same priority space everywhere (it does: n^3).
+        first = runtime.instances[0]._priority_space
+        return all(inst._priority_space == first for inst in runtime.instances)
+
+
+class _PowerDetRulingProgram(_PowerFloodProgram):
+    """Batched deterministic distance-``k`` ruling set: iterated ID minima
+    flooded ``k`` hops over the base CSR."""
+
+    randomized = False
+
+
 # ------------------------------------------------------------------- engine
 class VectorEngine(RoundEngine):
     """Vectorized scheduler; falls back to :class:`SyncEngine` when the run
-    is not vectorizable (see the module docstring for the exact rules)."""
+    is not vectorizable (see the module docstring for the exact rules).
+
+    After every ``run`` the engine records which backend actually executed in
+    :attr:`last_engine_used` (``"vector"`` or the fallback's name); the
+    simulator copies it into ``SimulationResult.engine_used``.  A fallback
+    additionally emits a :class:`VectorFallbackWarning` so benchmarks cannot
+    silently measure the wrong backend.
+    """
 
     name = "vector"
 
     def __init__(self, fallback: RoundEngine | None = None) -> None:
         self.fallback = fallback if fallback is not None else SyncEngine()
+        self.last_engine_used = self.name
 
     def run(self, runtime: Runtime, max_rounds: int) -> int:
         program_class = self.select_program(runtime)
         if program_class is None:
+            self.last_engine_used = self.fallback.name
+            node_class = (type(runtime.instances[0]).__name__
+                          if runtime.instances else "(no instances)")
+            warnings.warn(
+                f"engine='vector' fell back to '{self.fallback.name}' for "
+                f"{node_class} (no vector program applies; results are "
+                f"bit-identical, performance is not)",
+                VectorFallbackWarning, stacklevel=3)
             return self.fallback.run(runtime, max_rounds)
+        self.last_engine_used = self.name
         return program_class(runtime).run(max_rounds)
 
     @staticmethod
@@ -461,5 +669,7 @@ _BUILTIN_PROGRAMS = {
     "repro.mis.luby.LubyMISNode": _LubyProgram,
     "repro.mis.beeping.BeepingMISNode": _BeepingProgram,
     "repro.ruling.distributed.DetRulingSetNode": _DetRulingProgram,
+    "repro.mis.power_sim.PowerLubyMISNode": _PowerLubyProgram,
+    "repro.mis.power_sim.PowerDetRulingNode": _PowerDetRulingProgram,
 }
 _PROGRAMS.update(_BUILTIN_PROGRAMS)

@@ -45,7 +45,7 @@ from repro.congest.cost import RoundLedger
 from repro.congest.network import CongestNetwork
 from repro.congest.node import NodeAlgorithm
 from repro.congest.simulator import SimulationResult, Simulator
-from repro.graphs.power import distance_neighborhood
+from repro.graphs.power import power_adjacency
 from repro.graphs.properties import max_degree
 
 Node = Hashable
@@ -195,8 +195,7 @@ def beeping_mis_power(graph: nx.Graph, k: int, *, steps: int | None = None,
         id_bits = max(1, math.ceil(math.log2(n)))
 
     nodes = set(graph.nodes()) if candidates is None else set(candidates)
-    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
-                 for node in nodes}
+    adjacency = power_adjacency(graph, k, nodes)
     if steps is None:
         delta_k = max((len(neighbors) for neighbors in adjacency.values()), default=1)
         steps = default_step_budget(max(delta_k, n), scale=16)

@@ -26,7 +26,7 @@ import networkx as nx
 
 from repro.congest.cost import RoundLedger
 from repro.core.events import log_n
-from repro.graphs.power import distance_neighborhood
+from repro.graphs.power import power_adjacency
 
 Node = Hashable
 
@@ -113,7 +113,6 @@ def kp12_sparsify_power(graph: nx.Graph, k: int, f: float, *,
     rng = rng or random.Random(0)
     ledger = ledger if ledger is not None else RoundLedger()
     nodes = set(graph.nodes()) if candidates is None else set(candidates)
-    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
-                 for node in nodes}
+    adjacency = power_adjacency(graph, k, nodes)
     return kp12_sparsify(adjacency, f, graph.number_of_nodes(), rng=rng, ledger=ledger,
                          rounds_per_stage=k)

@@ -33,7 +33,7 @@ from repro.congest.cost import RoundLedger
 from repro.congest.network import CongestNetwork
 from repro.congest.node import NodeAlgorithm
 from repro.congest.simulator import SimulationResult, Simulator
-from repro.graphs.power import distance_neighborhood
+from repro.graphs.power import power_adjacency
 
 Node = Hashable
 
@@ -44,6 +44,21 @@ __all__ = ["LubyMISNode", "LubyResult", "luby_mis", "luby_mis_power",
 #: (``c`` in [MRSZ11]); ties are broken by ID to keep runs deterministic
 #: given the seed.
 PRIORITY_EXPONENT = 3
+
+_PRIORITY_SPACES: dict[int, int] = {}
+
+
+def shared_priority_space(n: int) -> int:
+    """``n ** PRIORITY_EXPONENT`` as one shared int object per ``n``.
+
+    Every node of a run stores the same space; sharing the object keeps
+    per-instance protocol state O(1) instead of one multi-digit int per
+    node (which dwarfs the adjacency arrays at n >= 10^5).
+    """
+    space = _PRIORITY_SPACES.get(n)
+    if space is None:
+        space = _PRIORITY_SPACES[n] = n ** PRIORITY_EXPONENT
+    return space
 
 
 @dataclass
@@ -114,8 +129,7 @@ def luby_mis_power(graph: nx.Graph, k: int, *, rng: random.Random | None = None,
     rng = rng or random.Random(0)
     ledger = ledger if ledger is not None else RoundLedger()
     nodes = set(graph.nodes()) if candidates is None else set(candidates)
-    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
-                 for node in nodes}
+    adjacency = power_adjacency(graph, k, nodes)
     n = max(2, graph.number_of_nodes())
     mis, steps = _luby_on_adjacency(adjacency, rng, n ** PRIORITY_EXPONENT)
     for step in range(steps):
@@ -147,7 +161,7 @@ class LubyMISNode(NodeAlgorithm):
         self._min_neighbor_priority: tuple[int, int] | None = None
 
     def initialize(self) -> None:
-        self._priority_space = self.n ** PRIORITY_EXPONENT
+        self._priority_space = shared_priority_space(self.n)
 
     def send(self, round_number: int) -> Mapping[Node, object]:
         # Message kinds are distinguished by round parity (odd = priority,

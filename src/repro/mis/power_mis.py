@@ -34,7 +34,7 @@ import networkx as nx
 from repro.congest.cost import RoundLedger
 from repro.decomposition.ball_graph import form_distance_k_ball_graph
 from repro.decomposition.network_decomposition import network_decomposition
-from repro.graphs.power import bounded_bfs, distance_neighborhood
+from repro.graphs.power import bounded_bfs, distance_neighborhood, power_adjacency
 from repro.graphs.properties import max_degree
 from repro.mis.beeping import BeepingMISProcess, default_step_budget
 from repro.ruling.greedy import greedy_mis, greedy_ruling_set
@@ -64,9 +64,7 @@ class PowerMISResult:
 
 def _power_adjacency(graph: nx.Graph, k: int,
                      nodes: Iterable[Node]) -> dict[Node, set[Node]]:
-    nodes = set(nodes)
-    return {node: distance_neighborhood(graph, node, k, restrict_to=nodes)
-            for node in nodes}
+    return power_adjacency(graph, k, set(nodes))
 
 
 def power_graph_mis(graph: nx.Graph, k: int, *,

@@ -21,7 +21,7 @@ from typing import Hashable
 import networkx as nx
 
 from repro.congest.cost import RoundLedger
-from repro.graphs.power import distance_neighborhood
+from repro.graphs.power import power_adjacency
 from repro.graphs.properties import max_degree
 from repro.mis.kp12 import kp12_sparsify
 from repro.mis.power_mis import power_graph_mis
@@ -91,8 +91,7 @@ def power_graph_ruling_set(graph: nx.Graph, k: int, beta: int, *,
     chain_sizes = [len(candidates)]
 
     # Iterated KP12 sparsification on G^k.
-    adjacency = {node: distance_neighborhood(graph, node, k, restrict_to=candidates)
-                 for node in candidates}
+    adjacency = power_adjacency(graph, k, candidates)
     delta_k = max((len(neighbors) for neighbors in adjacency.values()), default=1)
     schedule = kp12_schedule(delta_k, beta)
 

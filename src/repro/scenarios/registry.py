@@ -357,6 +357,18 @@ def _register_scenarios(registry: ScenarioRegistry) -> None:
     registry.add_scenario("regular-n24-d3", "beeping-sim", engine="vector",
                           tags={"smoke", "engine-equivalence", "property"})
 
+    # Simulator-native power-graph protocols (MIS of G^k by 2k-round k-hop
+    # flooding) under both the scalar reference and the array engine.
+    for cell in ("regular-n24-d3", "crown-m5"):
+        for engine in ("sync", "vector"):
+            registry.add_scenario(cell, "power-luby-sim", k=2, engine=engine,
+                                  tags={"smoke", "engine-equivalence",
+                                        "property"})
+    for engine in ("sync", "vector"):
+        registry.add_scenario("dense-core-6x3x5", "power-det-ruling-sim", k=2,
+                              engine=engine,
+                              tags={"smoke", "engine-equivalence", "property"})
+
     # Power-graph algorithms (k = 2) on the adversarial + regular smoke cells.
     for cell in ("regular-n24-d3", "dense-core-6x3x5", "crown-m5", "disconnected-n18"):
         registry.add_scenario(cell, "power-mis", k=2, tags={"smoke", "property"})

@@ -37,6 +37,7 @@ from repro.mis.kp12 import kp12_sparsify_power
 from repro.mis.luby import luby_mis, luby_mis_power, simulate_luby_mis
 from repro.mis.power_mis import power_graph_mis
 from repro.mis.power_ruling import power_graph_ruling_set
+from repro.mis.power_sim import simulate_power_det_ruling, simulate_power_luby_mis
 from repro.mis.shattering import shattering_mis
 from repro.ruling.aglp import aglp_ruling_set, id_based_ruling_set
 from repro.ruling.det_ruling_set import deterministic_power_ruling_set
@@ -101,6 +102,14 @@ PARITY_CASES = [
         simulate_luby_mis(CongestNetwork(g, id_seed=s), seed=s, engine="sync"))),
     ("beeping-sim", {"engine": "sync"}, lambda g, s: (lambda out: (out[0], out[1].rounds))(
         simulate_beeping_mis(CongestNetwork(g, id_seed=s), seed=s, engine="sync"))),
+    ("power-luby-sim", {"engine": "sync", "k": K},
+     lambda g, s: (lambda out: (out[0], out[1].rounds))(
+        simulate_power_luby_mis(CongestNetwork(g, id_seed=s), K, seed=s,
+                                engine="sync"))),
+    ("power-det-ruling-sim", {"engine": "sync", "k": K},
+     lambda g, s: (lambda out: (out[0], out[1].rounds))(
+        simulate_power_det_ruling(CongestNetwork(g, id_seed=s), K, seed=s,
+                                  engine="sync"))),
 ]
 
 

@@ -50,6 +50,7 @@ EXPECTED_ALL = [
     "replay",
     "shattering_mis",
     "solve",
+    "solve_batch",
     "verify_invariants",
     "verify_ruling_set",
     "__version__",
@@ -72,6 +73,8 @@ EXPECTED_ALGORITHMS = [
     "luby-power",
     "luby-sim",
     "network-decomposition",
+    "power-det-ruling-sim",
+    "power-luby-sim",
     "power-mis",
     "power-ruling",
     "randomized-sparsify",

@@ -36,6 +36,11 @@ from repro.congest.vector_engine import VectorProgram
 from repro.graphs import erdos_renyi_graph, random_regular_graph, random_tree, unit_disk_graph
 from repro.mis.beeping import BeepingMISNode, simulate_beeping_mis
 from repro.mis.luby import LubyMISNode, simulate_luby_mis
+from repro.mis.power_sim import (
+    PowerDetRulingNode,
+    PowerLubyMISNode,
+    simulate_power_luby_mis,
+)
 from repro.ruling import is_mis_of_power_graph
 from repro.ruling.distributed import DetRulingSetNode, simulate_det_ruling_set
 from repro.scenarios import DEFAULT_REGISTRY
@@ -194,7 +199,9 @@ class TestVectorPathSelection:
     @pytest.mark.parametrize("factory", [
         LubyMISNode, DetRulingSetNode,
         lambda node: BeepingMISNode(max_steps=50),
-    ], ids=["luby", "det-ruling", "beeping"])
+        lambda node: PowerLubyMISNode(2),
+        lambda node: PowerDetRulingNode(2),
+    ], ids=["luby", "det-ruling", "beeping", "power-luby", "power-det-ruling"])
     def test_supported_algorithms_take_the_vector_path(self, factory):
         runtime = self._runtime(factory)
         assert VectorEngine.select_program(runtime) is not None
@@ -298,12 +305,40 @@ class TestRegistryEngineMatrix:
         _assert_matrix_equivalent(
             results, repro=f"beeping-mis cell={cell_name} seed={seed}")
 
+    @pytest.mark.parametrize("cell_name", REGISTRY_SAMPLE_CELLS)
+    @pytest.mark.parametrize("seed", [0, 13])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_power_luby_mis_registry_sample(self, cell_name, seed, k):
+        graph = DEFAULT_REGISTRY.build_cell(cell_name, seed=seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        results = _run_matrix(network, lambda node: PowerLubyMISNode(k),
+                              seed=seed)
+        _assert_matrix_equivalent(
+            results, repro=f"power-luby-mis cell={cell_name} seed={seed} k={k}")
+        mis = {node for node, joined in results["sync"].outputs.items() if joined}
+        assert is_mis_of_power_graph(graph, mis, k)
+
+    @pytest.mark.parametrize("cell_name", REGISTRY_SAMPLE_CELLS)
+    @pytest.mark.parametrize("seed", [0, 13])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_power_det_ruling_registry_sample(self, cell_name, seed, k):
+        graph = DEFAULT_REGISTRY.build_cell(cell_name, seed=seed)
+        network = CongestNetwork(graph, id_seed=seed)
+        results = _run_matrix(network, lambda node: PowerDetRulingNode(k))
+        _assert_matrix_equivalent(
+            results,
+            repro=f"power-det-ruling cell={cell_name} seed={seed} k={k}")
+        chosen = {node for node, joined in results["sync"].outputs.items()
+                  if joined}
+        assert is_mis_of_power_graph(graph, chosen, k)
+
 
 class TestVectorProvenanceReplay:
     """A vector-engine report replays bit-for-bit on the sync engine."""
 
     @pytest.mark.parametrize("algorithm", ["det-ruling-sim", "luby-sim",
-                                           "beeping-sim"])
+                                           "beeping-sim", "power-luby-sim",
+                                           "power-det-ruling-sim"])
     def test_replay_across_engines_is_bit_identical(self, algorithm):
         from repro.api import replay, solve
 
@@ -320,7 +355,8 @@ class TestVectorProvenanceReplay:
         assert vector.metrics["engine"] == "vector"
 
     @pytest.mark.parametrize("algorithm", ["det-ruling-sim", "luby-sim",
-                                           "beeping-sim"])
+                                           "beeping-sim", "power-luby-sim",
+                                           "power-det-ruling-sim"])
     def test_engine_choice_is_seed_neutral(self, algorithm):
         from repro.api import solve
 

@@ -1,0 +1,197 @@
+"""Virtual ``G^k`` views: PowerView/ReachKernel vs ``power_graph(G, k)``.
+
+The tentpole contract: every ``G^k`` neighbor query answered by the lazy
+tiled-BFS view must agree exactly with the materialized power graph, over
+the scenario registry's sample cells -- adversarial families included --
+for several ``k``, every tiling granularity, and restricted node subsets.
+The same kernel backs :func:`repro.graphs.power.power_adjacency`, so the
+numpy and scalar backends are differentially tested here too, including
+the dict key-order guarantee the RNG-coupled pipelines rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest.network import CongestNetwork
+from repro.congest.power_view import DEFAULT_TILE_BYTES, PowerView, ReachKernel
+from repro.congest.topology import TopologySnapshot
+from repro.graphs import power_graph
+from repro.graphs import power as power_module
+from repro.graphs.power import distance_neighborhood, power_adjacency
+from repro.scenarios.registry import DEFAULT_REGISTRY
+
+#: Every engine-equivalence sample cell (spans all adversarial families).
+SAMPLE_CELLS = sorted(
+    {scenario.cell for scenario in
+     DEFAULT_REGISTRY.select(tags={"engine-equivalence"})})
+
+
+def _snapshot(graph) -> TopologySnapshot:
+    return TopologySnapshot(CongestNetwork(graph, id_seed=0))
+
+
+def _expected_adjacency(graph, k):
+    power = power_graph(graph, k)
+    return {node: set(power.neighbors(node)) for node in graph.nodes()}
+
+
+class TestPowerViewAdjacency:
+    @pytest.mark.parametrize("cell_name", SAMPLE_CELLS)
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_materialized_power_graph(self, cell_name, k):
+        graph = DEFAULT_REGISTRY.build_cell(cell_name, seed=3)
+        view = _snapshot(graph).power_view(k)
+        expected = _expected_adjacency(graph, k)
+        actual = view.adjacency_sets()
+        assert actual == expected, f"cell={cell_name} k={k}"
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_neighbor_labels_match_distance_neighborhood(self, k):
+        graph = DEFAULT_REGISTRY.build_cell("dense-core-6x3x5", seed=0)
+        view = _snapshot(graph).power_view(k)
+        for node in graph.nodes():
+            assert view.neighbor_labels(node) == \
+                distance_neighborhood(graph, node, k), f"node={node} k={k}"
+
+    def test_restricted_adjacency_measures_distance_in_full_graph(self):
+        # G^k[X]: candidates restricted, but paths may leave X (Cor. 8.5).
+        graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=3)
+        nodes = sorted(graph.nodes(), key=str)[:10]
+        view = _snapshot(graph).power_view(2)
+        actual = view.adjacency_sets(nodes)
+        assert list(actual) == list(nodes)  # key order follows the input
+        expected = {node: distance_neighborhood(graph, node, 2) & set(nodes)
+                    for node in nodes}
+        assert actual == expected
+
+    @pytest.mark.parametrize("tile_bytes", [1, 64, 4096, DEFAULT_TILE_BYTES])
+    def test_tiling_granularity_is_invisible(self, tile_bytes):
+        graph = DEFAULT_REGISTRY.build_cell("crown-m5", seed=0)
+        snapshot = _snapshot(graph)
+        view = PowerView(snapshot, 2, tile_bytes=tile_bytes)
+        assert view.adjacency_sets() == _expected_adjacency(graph, 2)
+
+    def test_view_is_cached_per_k(self):
+        snapshot = _snapshot(DEFAULT_REGISTRY.build_cell("er-n20", seed=1))
+        assert snapshot.power_view(2) is snapshot.power_view(2)
+        assert snapshot.power_view(2) is not snapshot.power_view(3)
+
+    def test_degrees_match_power_graph(self):
+        graph = DEFAULT_REGISTRY.build_cell("disconnected-n18", seed=2)
+        view = _snapshot(graph).power_view(2)
+        power = power_graph(graph, 2)
+        for index, label in enumerate(view.snapshot.labels):
+            assert view.degrees()[index] == power.degree(label)
+        assert view.max_degree() == max(
+            (power.degree(node) for node in power.nodes()), default=0)
+
+    def test_view_memory_stays_linear(self):
+        graph = DEFAULT_REGISTRY.build_cell("dense-core-6x3x5", seed=0)
+        view = _snapshot(graph).power_view(3)
+        view.degrees()
+        # O(n) persistent state: starts + empty mask + degree cache.
+        assert view.nbytes <= 64 * graph.number_of_nodes() + 64
+        assert view.estimated_power_csr_bytes() > 0
+
+
+class TestReachKernel:
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            ReachKernel(np.array([0]), np.array([], dtype=np.int64), -1)
+
+    def test_empty_graph(self):
+        kernel = ReachKernel(np.zeros(7, dtype=np.int64),
+                             np.array([], dtype=np.int64), 3)
+        reach = kernel.reach_tile(np.arange(6))
+        assert reach.shape == (6, 6)
+        assert not reach.any()
+
+    def test_isolated_nodes_have_empty_rows(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(5))
+        graph.add_edge(0, 1)
+        snapshot = _snapshot(graph)
+        view = snapshot.power_view(2)
+        assert view.adjacency_sets() == _expected_adjacency(graph, 2)
+
+    def test_tile_size_respects_budget(self):
+        graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=3)
+        arrays = _snapshot(graph).numpy_arrays()
+        kernel = ReachKernel(arrays.indptr, arrays.neighbor_indices, 2,
+                             tile_bytes=1)
+        assert kernel.tile_size == 1
+        chunks = [len(chunk) for chunk, _ in kernel.tiles()]
+        assert all(size == 1 for size in chunks)
+        assert sum(chunks) == graph.number_of_nodes()
+
+
+class TestPowerAdjacencyBackends:
+    """The numpy and scalar paths of ``power_adjacency`` are interchangeable
+    bit-for-bit -- values *and* dict key order (the RNG coupling surface)."""
+
+    @pytest.mark.parametrize("cell_name", SAMPLE_CELLS)
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_backends_agree(self, cell_name, k):
+        graph = DEFAULT_REGISTRY.build_cell(cell_name, seed=7)
+        scalar = power_adjacency(graph, k, backend="scalar")
+        vectorized = power_adjacency(graph, k, backend="numpy")
+        assert scalar == vectorized
+        assert list(scalar) == list(vectorized)
+
+    def test_backends_agree_on_restricted_nodes(self):
+        graph = DEFAULT_REGISTRY.build_cell("dense-core-6x3x5", seed=0)
+        nodes = [node for index, node in enumerate(graph.nodes())
+                 if index % 2 == 0]
+        scalar = power_adjacency(graph, 2, nodes, backend="scalar")
+        vectorized = power_adjacency(graph, 2, nodes, backend="numpy")
+        assert scalar == vectorized
+        assert list(scalar) == list(nodes) == list(vectorized)
+
+    def test_matches_power_graph(self):
+        graph = DEFAULT_REGISTRY.build_cell("crown-m5", seed=0)
+        assert power_adjacency(graph, 2) == _expected_adjacency(graph, 2)
+
+    def test_auto_backend_threshold(self, monkeypatch):
+        graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=3)
+        monkeypatch.setattr(power_module, "_NUMPY_ADJACENCY_THRESHOLD", 1)
+        forced_numpy = power_adjacency(graph, 2)
+        monkeypatch.setattr(power_module, "_NUMPY_ADJACENCY_THRESHOLD", 10**9)
+        forced_scalar = power_adjacency(graph, 2)
+        assert forced_numpy == forced_scalar
+
+    def test_unknown_backend_rejected(self):
+        graph = DEFAULT_REGISTRY.build_cell("er-n20", seed=1)
+        with pytest.raises(ValueError, match="backend"):
+            power_adjacency(graph, 2, backend="cuda")
+
+
+class TestInt32CsrDowncast:
+    def test_small_graph_uses_int32_indices(self):
+        graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=3)
+        arrays = _snapshot(graph).numpy_arrays()
+        assert arrays.index_dtype == np.int32
+        assert arrays.indptr.dtype == np.int32
+        assert arrays.neighbor_indices.dtype == np.int32
+        assert arrays.rows.dtype == np.int32
+        # Semantics are dtype-independent: CSR still round-trips the graph.
+        snapshot = _snapshot(graph)
+        for index, label in enumerate(snapshot.labels):
+            start, stop = arrays.indptr[index], arrays.indptr[index + 1]
+            neighbor_set = {snapshot.labels[j]
+                            for j in arrays.neighbor_indices[start:stop]}
+            assert neighbor_set == set(graph.neighbors(label))
+
+    def test_downcast_preserves_power_view_results(self):
+        graph = DEFAULT_REGISTRY.build_cell("dense-core-6x3x5", seed=0)
+        view = _snapshot(graph).power_view(2)
+        assert view.adjacency_sets() == _expected_adjacency(graph, 2)
+
+    def test_totals_and_ids_stay_int64(self):
+        arrays = _snapshot(
+            DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=3)).numpy_arrays()
+        assert arrays.congest_ids.dtype == np.int64
+        assert arrays.degrees.dtype == np.int64

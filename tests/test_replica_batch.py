@@ -1,0 +1,284 @@
+"""Batched-replica runner: ``simulate_replicas`` == B independent solo runs.
+
+The contract under test is bit-identity *per replica*: every
+:class:`SimulationResult` returned by the batch runner must equal -- outputs,
+rounds, message totals, bit totals, per-edge congestion, halted flag -- the
+result of the corresponding solo ``Simulator(..., seed=s, engine="vector")``
+run.  The suite covers every registered batch kernel, degenerate graphs,
+the sequential fallback (with :class:`BatchFallbackWarning` observability),
+the ``select_batch_kernel`` gate, and a hypothesis fuzz of the public
+``repro.solve_batch`` against per-seed ``repro.solve``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.congest import CongestNetwork, Simulator
+from repro.congest.batch import (
+    BatchFallbackWarning,
+    select_batch_kernel,
+    simulate_replicas,
+)
+from repro.mis.beeping import BeepingMISNode
+from repro.mis.luby import LubyMISNode
+from repro.mis.power_sim import PowerDetRulingNode, PowerLubyMISNode
+from repro.ruling.distributed import DetRulingSetNode
+from repro.scenarios.registry import DEFAULT_REGISTRY
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+SEEDS = [3, 11, 29, 42, 64, 91, 106, 215]
+
+#: Every node class with a registered batch kernel.
+FACTORIES = [
+    pytest.param(LubyMISNode, id="luby"),
+    pytest.param(DetRulingSetNode, id="det-ruling"),
+    pytest.param(lambda node: PowerLubyMISNode(2), id="power-luby-k2"),
+    pytest.param(lambda node: PowerDetRulingNode(2), id="power-det-ruling-k2"),
+]
+
+GRAPHS = [
+    pytest.param(lambda: nx.random_regular_graph(4, 30, seed=1), id="regular"),
+    pytest.param(lambda: nx.gnp_random_graph(24, 0.2, seed=2), id="gnp"),
+    pytest.param(lambda: nx.complete_graph(12), id="complete"),
+    pytest.param(lambda: nx.empty_graph(9), id="edgeless"),
+    pytest.param(lambda: nx.disjoint_union_all(
+        [nx.path_graph(6), nx.star_graph(5), nx.empty_graph(3)]),
+        id="disconnected"),
+    # Trailing isolated nodes after a degree->=2 node: the CSR's last
+    # non-empty segment is followed by empty ones, the regression shape for
+    # the batched reduceat (clamped starts truncated that segment).
+    pytest.param(lambda: nx.disjoint_union_all(
+        [nx.cycle_graph(8), nx.empty_graph(2)]), id="trailing-isolated"),
+]
+
+
+def _solo_results(graph, factory, seeds, *, engine, max_rounds=10_000):
+    return [Simulator(CongestNetwork(graph, id_seed=seed), factory,
+                      seed=seed, engine=engine).run(max_rounds)
+            for seed in seeds]
+
+
+def _assert_bit_identical(batched, solo, hint):
+    assert batched.outputs == solo.outputs, f"outputs diverge: {hint}"
+    assert batched.rounds == solo.rounds, f"rounds diverge: {hint}"
+    assert batched.total_messages == solo.total_messages, \
+        f"message totals diverge: {hint}"
+    assert batched.total_bits == solo.total_bits, \
+        f"bit totals diverge: {hint}"
+    assert batched.edge_message_counts == solo.edge_message_counts, \
+        f"per-edge congestion diverges: {hint}"
+    assert batched.halted == solo.halted, f"halted flag diverges: {hint}"
+
+
+class TestSimulateReplicasBitIdentity:
+    @pytest.mark.parametrize("make_graph", GRAPHS)
+    @pytest.mark.parametrize("factory", FACTORIES)
+    def test_matches_solo_vector_runs(self, make_graph, factory):
+        graph = make_graph()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BatchFallbackWarning)
+            batched = simulate_replicas(graph, factory, SEEDS,
+                                        engine="vector")
+        solo = _solo_results(graph, factory, SEEDS, engine="vector")
+        assert len(batched) == len(SEEDS)
+        for seed, b, s in zip(SEEDS, batched, solo):
+            _assert_bit_identical(b, s, f"seed={seed}")
+            assert b.engine == "vector"
+            assert b.engine_used == "vector"
+
+    def test_matches_solo_sync_runs(self):
+        # The vector engine is itself bit-identical to sync, so the batch is
+        # transitively sync-identical; lock that end-to-end anyway.
+        graph = nx.random_regular_graph(3, 20, seed=7)
+        batched = simulate_replicas(graph, LubyMISNode, SEEDS,
+                                    engine="vector")
+        solo = _solo_results(graph, LubyMISNode, SEEDS, engine="sync")
+        for seed, b, s in zip(SEEDS, batched, solo):
+            assert b.outputs == s.outputs, f"seed={seed}"
+            assert b.rounds == s.rounds, f"seed={seed}"
+            assert b.total_messages == s.total_messages, f"seed={seed}"
+            assert b.total_bits == s.total_bits, f"seed={seed}"
+
+    def test_single_replica_and_empty_seed_list(self):
+        graph = nx.random_regular_graph(3, 12, seed=0)
+        assert simulate_replicas(graph, LubyMISNode, []) == []
+        [only] = simulate_replicas(graph, LubyMISNode, [5], engine="vector")
+        [solo] = _solo_results(graph, LubyMISNode, [5], engine="vector")
+        _assert_bit_identical(only, solo, "single replica")
+
+    def test_network_factory_controls_id_assignment(self):
+        graph = nx.random_regular_graph(3, 16, seed=4)
+        networks = {seed: CongestNetwork(graph, id_seed=seed + 1000)
+                    for seed in SEEDS[:4]}
+        batched = simulate_replicas(
+            graph, LubyMISNode, SEEDS[:4], engine="vector",
+            network_factory=lambda seed: networks[seed])
+        for seed, b in zip(SEEDS[:4], batched):
+            solo = Simulator(networks[seed], LubyMISNode, seed=seed,
+                             engine="vector").run(10_000)
+            _assert_bit_identical(b, solo, f"custom network seed={seed}")
+
+    def test_requires_graph_or_network_factory(self):
+        with pytest.raises(ValueError, match="network_factory"):
+            simulate_replicas(None, LubyMISNode, [1, 2])
+
+
+class TestSequentialFallback:
+    def test_unregistered_node_class_warns_and_stays_identical(self):
+        graph = nx.random_regular_graph(4, 20, seed=3)
+        factory = lambda node: BeepingMISNode(max_steps=64)
+        with pytest.warns(BatchFallbackWarning, match="BeepingMISNode"):
+            batched = simulate_replicas(graph, factory, SEEDS[:4],
+                                        engine="vector")
+        solo = _solo_results(graph, factory, SEEDS[:4], engine="vector")
+        for seed, b, s in zip(SEEDS[:4], batched, solo):
+            _assert_bit_identical(b, s, f"fallback seed={seed}")
+
+    def test_sync_engine_is_sequential_without_warning(self):
+        graph = nx.random_regular_graph(3, 14, seed=6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BatchFallbackWarning)
+            batched = simulate_replicas(graph, LubyMISNode, SEEDS[:3],
+                                        engine="sync")
+        solo = _solo_results(graph, LubyMISNode, SEEDS[:3], engine="sync")
+        for seed, b, s in zip(SEEDS[:3], batched, solo):
+            _assert_bit_identical(b, s, f"sync seed={seed}")
+            assert b.engine == "sync"
+
+
+class TestSelectBatchKernel:
+    def _sims(self, factory, *, seeds=(0, 1), **kwargs):
+        graph = nx.random_regular_graph(3, 12, seed=2)
+        return [Simulator(CongestNetwork(graph, id_seed=seed), factory,
+                          seed=seed, engine="vector", **kwargs)
+                for seed in seeds]
+
+    def test_selects_kernel_for_each_registered_class(self):
+        for factory in (LubyMISNode, DetRulingSetNode,
+                        lambda node: PowerLubyMISNode(2),
+                        lambda node: PowerDetRulingNode(2)):
+            assert select_batch_kernel(self._sims(factory)) is not None
+
+    def test_rejects_unregistered_class(self):
+        sims = self._sims(lambda node: BeepingMISNode(max_steps=16))
+        assert select_batch_kernel(sims) is None
+
+    def test_rejects_observers(self):
+        from repro.congest.simulator import RoundObserver
+
+        class Probe(RoundObserver):
+            def on_round(self, round_number, simulator):
+                pass
+
+        plain = self._sims(LubyMISNode, seeds=(0,))
+        observed = self._sims(LubyMISNode, seeds=(1,),
+                              observers=(Probe(),))
+        assert select_batch_kernel(plain + observed) is None
+
+    def test_rejects_half_duplex(self):
+        sims = self._sims(LubyMISNode, half_duplex=True)
+        assert select_batch_kernel(sims) is None
+
+    def test_rejects_mixed_node_classes(self):
+        sims = (self._sims(LubyMISNode, seeds=(0,))
+                + self._sims(DetRulingSetNode, seeds=(1,)))
+        assert select_batch_kernel(sims) is None
+
+    def test_rejects_mismatched_topologies(self):
+        small = nx.random_regular_graph(3, 12, seed=2)
+        large = nx.random_regular_graph(3, 16, seed=2)
+        sims = [Simulator(CongestNetwork(g, id_seed=0), LubyMISNode,
+                          seed=0, engine="vector") for g in (small, large)]
+        assert select_batch_kernel(sims) is None
+
+    def test_rejects_empty(self):
+        assert select_batch_kernel([]) is None
+
+    def test_rejects_mixed_power_k(self):
+        # Same class, different k: passes the selector's class gate but the
+        # kernel's post-init supports() must refuse, and simulate_replicas
+        # must recover via the sequential fallback, still bit-identical.
+        import itertools
+
+        graph = nx.random_regular_graph(3, 12, seed=2)
+        n = graph.number_of_nodes()
+
+        def make_factory():
+            # The factory is invoked once per node, one simulator at a time,
+            # so replica r gets k = 2 + (r % 2) regardless of rebuilds.
+            calls = itertools.count()
+            return lambda node: PowerLubyMISNode(2 + (next(calls) // n) % 2)
+
+        factory = make_factory()
+        sims = [Simulator(CongestNetwork(graph, id_seed=seed), factory,
+                          seed=seed, engine="vector") for seed in (0, 1)]
+        assert select_batch_kernel(sims) is not None  # class gate passes
+
+        with pytest.warns(BatchFallbackWarning):
+            batched = simulate_replicas(graph, make_factory(), [0, 1],
+                                        engine="vector")
+        solo = [Simulator(CongestNetwork(graph, id_seed=seed),
+                          lambda node, k=k: PowerLubyMISNode(k),
+                          seed=seed, engine="vector").run(10_000)
+                for seed, k in ((0, 2), (1, 3))]
+        for seed, b, s in zip((0, 1), batched, solo):
+            _assert_bit_identical(b, s, f"mixed-k seed={seed}")
+
+
+class TestSolveBatchAPI:
+    @pytest.mark.parametrize("algorithm,config", [
+        ("luby-sim", {}),
+        ("det-ruling-sim", {}),
+        ("power-luby-sim", {"k": 2}),
+        ("power-det-ruling-sim", {"k": 2}),
+    ])
+    @pytest.mark.parametrize("engine", ["sync", "vector"])
+    def test_batch_reports_equal_solo_reports(self, algorithm, config, engine):
+        graph = DEFAULT_REGISTRY.build_cell("regular-n24-d3", seed=5)
+        reports = repro.solve_batch(graph, algorithm, seeds=SEEDS,
+                                    engine=engine, **config)
+        assert len(reports) == len(SEEDS)
+        for seed, report in zip(SEEDS, reports):
+            solo = repro.solve(graph, algorithm, seed=seed, engine=engine,
+                               **config)
+            hint = f"{algorithm} engine={engine} seed={seed}"
+            assert report.output == solo.output, hint
+            assert report.rounds == solo.rounds, hint
+            assert report.metrics == solo.metrics, hint
+            assert report.provenance == solo.provenance, hint
+            assert report.verified and solo.verified, hint
+
+
+@SETTINGS
+@given(graph_seed=st.integers(min_value=0, max_value=2 ** 16),
+       n=st.integers(min_value=2, max_value=28),
+       p=st.floats(min_value=0.0, max_value=0.5),
+       base_seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+       replicas=st.integers(min_value=1, max_value=6),
+       algorithm=st.sampled_from(["luby-sim", "power-luby-sim",
+                                  "power-det-ruling-sim"]))
+def test_fuzz_solve_batch_matches_per_seed_solve(graph_seed, n, p, base_seed,
+                                                 replicas, algorithm):
+    """Public-API fuzz: ``repro.solve_batch`` is per-replica bit-identical
+    to B independent ``repro.solve`` calls for random graphs and seeds."""
+    graph = nx.gnp_random_graph(n, p, seed=graph_seed)
+    seeds = [base_seed + 7 * index for index in range(replicas)]
+    config = {"k": 2} if "power" in algorithm else {}
+    hint = f"{algorithm} gnp(n={n}, p={p:.3f}, seed={graph_seed})"
+    reports = repro.solve_batch(graph, algorithm, seeds=seeds,
+                                engine="vector", **config)
+    for seed, report in zip(seeds, reports):
+        solo = repro.solve(graph, algorithm, seed=seed, engine="vector",
+                           **config)
+        assert report.output == solo.output, f"{hint} seed={seed}"
+        assert report.rounds == solo.rounds, f"{hint} seed={seed}"
+        assert report.metrics == solo.metrics, f"{hint} seed={seed}"
+        assert report.certificate == solo.certificate, f"{hint} seed={seed}"
