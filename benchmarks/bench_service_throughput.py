@@ -16,12 +16,15 @@ Two measurements per mix entry:
 * ``served_rps`` -- closed-loop HTTP requests against the warm cache with
   ``--concurrency`` client threads.
 
-The acceptance gate is a **geometric-mean speedup >= 5x** across the mix
+The acceptance gates are a **geometric-mean speedup >= 5x** across the mix
 (every entry also reported individually), plus a mixed zipf phase whose
-aggregate throughput and ``/stats`` hit-rate are recorded.  ``--smoke``
-shrinks the mix and the iteration counts but keeps the gate -- CI runs it
-on every push.  Results land in ``service_throughput.json`` under the
-results directory (`REPRO_RESULTS_DIR` honoured).
+aggregate throughput and ``/stats`` hit-rate are recorded, plus an
+**observability-overhead gate**: the same warm-cache zipf phase served by
+a metrics-enabled server must stay within 5% of an identical
+metrics-disabled server (best of three alternating trials each).
+``--smoke`` shrinks the mix and the iteration counts but keeps the gates
+-- CI runs it on every push.  Results land in ``service_throughput.json``
+under the results directory (`REPRO_RESULTS_DIR` honoured).
 
 ``--server URL`` drives an externally-booted ``repro serve`` endpoint
 (the CI workflow does this); without it the benchmark boots an in-process
@@ -47,6 +50,10 @@ from repro.service import ServiceClient, ServiceServer, SolveCache, SolveSchedul
 
 EXPERIMENT_ID = "service_throughput"
 SPEEDUP_TARGET = 5.0  # geometric mean across the request mix
+#: Serving with the observability layer on (metrics registry + latency
+#: histograms + sampled families) may cost at most this fraction of
+#: warm-cache throughput versus an identical metrics-disabled server.
+OBSERVABILITY_OVERHEAD_LIMIT = 0.05
 
 #: (workload cell, algorithm, config) -- the serveable request vocabulary.
 #: Entries are chosen so a solve costs at least a few milliseconds: a
@@ -169,6 +176,68 @@ def measure_served(client: ServiceClient,
     }
 
 
+# ------------------------------------------------------ observability gate
+def measure_observability_overhead(
+        mix: Sequence[tuple[str, str, dict[str, Any]]], *,
+        requests_count: int, concurrency: int, zipf_s: float, seed: int,
+        trials: int = 3) -> dict[str, Any]:
+    """Warm-cache serving with metrics on vs. an identical metrics-off
+    server.
+
+    Both servers are in-process (inline workers, memory-only cache) and
+    serve the *same* zipf request sequence; each side takes the best of
+    ``trials`` alternating runs, which cancels most scheduler-noise --
+    the quantity under test is the per-request metrics cost (histogram
+    observe + counter bumps + the scrape-time families' existence), not
+    the machine's mood.  ``/metrics`` is scraped once per trial on the
+    metrics side, as a live monitoring stack would.
+    """
+    sequence = zipf_sequence(len(mix), requests_count, s=zipf_s, seed=seed)
+    requests = [mix[index] for index in sequence]
+
+    def boot(metrics_enabled: bool) -> ServiceServer:
+        kwargs: dict[str, Any] = {} if metrics_enabled else {"metrics": None}
+        scheduler = SolveScheduler(cache=SolveCache(""), inline=True,
+                                   **kwargs)
+        server = ServiceServer(port=0, scheduler=scheduler)
+        server.start()
+        return server
+
+    servers = {"on": boot(True), "off": boot(False)}
+    best: dict[str, float] = {"on": 0.0, "off": 0.0}
+    try:
+        clients = {name: ServiceClient(server.url)
+                   for name, server in servers.items()}
+        for client in clients.values():
+            client.wait_healthy()
+            for workload, algorithm, config in mix:  # warm the cache
+                client.solve(workload, algorithm, config=config)
+        for trial in range(trials):
+            # Alternate which side runs first so drift hits both equally.
+            order = ("on", "off") if trial % 2 == 0 else ("off", "on")
+            for name in order:
+                elapsed, rows = _closed_loop(clients[name], requests,
+                                             concurrency=concurrency)
+                rps = len(rows) / elapsed if elapsed > 0 else float("inf")
+                best[name] = max(best[name], rps)
+            clients["on"].metrics()  # the scrape a monitoring stack issues
+    finally:
+        for server in servers.values():
+            server.stop()
+
+    overhead = max(0.0, 1.0 - best["on"] / best["off"]) \
+        if best["off"] > 0 else 0.0
+    return {
+        "metrics_on_rps": round(best["on"], 1),
+        "metrics_off_rps": round(best["off"], 1),
+        "overhead_fraction": round(overhead, 4),
+        "limit_fraction": OBSERVABILITY_OVERHEAD_LIMIT,
+        "requests_per_trial": len(requests),
+        "trials": trials,
+        "ok": overhead <= OBSERVABILITY_OVERHEAD_LIMIT,
+    }
+
+
 # ---------------------------------------------------------------- experiment
 def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
                                   zipf_s: float = 1.1, seed: int = 7,
@@ -212,6 +281,13 @@ def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
         })
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
     stats = served["stats"]
+
+    # The observability gate always runs in-process (both sides must be
+    # identically configured apart from metrics, which an external
+    # ``--server`` endpoint cannot guarantee).
+    observability = measure_observability_overhead(
+        mix, requests_count=mixed_requests, concurrency=concurrency,
+        zipf_s=zipf_s, seed=seed)
     return {
         "smoke": smoke,
         "concurrency": concurrency,
@@ -224,6 +300,7 @@ def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
         "coalesced": stats.get("coalesced"),
         "latency_ms": stats.get("latency_ms"),
         "target": SPEEDUP_TARGET,
+        "observability": observability,
     }
 
 
@@ -277,10 +354,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     geomean = result["geomean_speedup"]
     print(f"warm-cache speedup: geomean {geomean:.2f}x over direct "
           f"uncached repro.solve")
+    observability = result["observability"]
+    print(f"observability overhead: "
+          f"{observability['overhead_fraction'] * 100:.2f}% "
+          f"(metrics on {observability['metrics_on_rps']} req/s vs off "
+          f"{observability['metrics_off_rps']} req/s, best of "
+          f"{observability['trials']} trials; limit "
+          f"{observability['limit_fraction'] * 100:.0f}%)")
+    failed = False
     if geomean < SPEEDUP_TARGET:
         print(f"FAIL: target is geomean >= {SPEEDUP_TARGET}x", file=sys.stderr)
+        failed = True
+    if not observability["ok"]:
+        print(f"FAIL: observability overhead "
+              f"{observability['overhead_fraction'] * 100:.2f}% exceeds "
+              f"{OBSERVABILITY_OVERHEAD_LIMIT * 100:.0f}%", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print(f"OK: >= {SPEEDUP_TARGET}x (geomean) over direct solving")
+    print(f"OK: >= {SPEEDUP_TARGET}x (geomean) over direct solving and "
+          f"<= {OBSERVABILITY_OVERHEAD_LIMIT * 100:.0f}% observability "
+          f"overhead")
     return 0
 
 

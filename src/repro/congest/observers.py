@@ -32,6 +32,8 @@ the :class:`~repro.congest.engine.ActiveSetEngine` pay off).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable
 
@@ -50,6 +52,8 @@ __all__ = [
     "RoundSnapshot",
     "RunContext",
     "StatsObserver",
+    "ambient_observation",
+    "ambient_observers",
 ]
 
 
@@ -102,6 +106,43 @@ class RoundObserver:
 
     def on_run_end(self, result: "SimulationResult") -> None:
         """Called once after ``finalize`` with the final result."""
+
+
+# ---------------------------------------------------------------------------
+# Ambient observers: instrumentation without threading observers through
+# every adapter signature.
+# ---------------------------------------------------------------------------
+
+_AMBIENT = threading.local()
+
+
+def ambient_observers() -> "tuple[RoundObserver, ...]":
+    """The observers ambiently installed on this thread (usually empty).
+
+    :class:`~repro.congest.simulator.Simulator` appends these to its own
+    ``observers=`` list on every ``run()``, so callers *above* the adapter
+    layer (the service layer's live solve streaming is the motivating one)
+    can watch a run without the adapter's cooperation.  Ambient observers
+    participate in engine selection exactly like explicit ones -- in
+    particular they route a ``vector`` run through its scalar fallback.
+    """
+    return tuple(getattr(_AMBIENT, "observers", ()) or ())
+
+
+@contextmanager
+def ambient_observation(*observers: RoundObserver):
+    """Install observers on this thread for the duration of the block.
+
+    Nests: inner blocks extend (not replace) the outer set.  The thread
+    locality is the isolation contract -- a streamed solve on one worker
+    thread never observes a neighbouring worker's rounds.
+    """
+    previous = ambient_observers()
+    _AMBIENT.observers = previous + tuple(observers)
+    try:
+        yield
+    finally:
+        _AMBIENT.observers = previous
 
 
 class StatsObserver(RoundObserver):

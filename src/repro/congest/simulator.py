@@ -32,7 +32,11 @@ from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Type
 from repro.congest.engine import RoundEngine, Runtime, SyncEngine, resolve_engine
 from repro.congest.network import CongestNetwork
 from repro.congest.node import NodeAlgorithm
-from repro.congest.observers import RoundObserver, RunContext
+from repro.congest.observers import (
+    RoundObserver,
+    RunContext,
+    ambient_observers,
+)
 from repro.congest.transport import BandwidthExceededError, Transport
 
 Node = Hashable
@@ -206,7 +210,10 @@ class Simulator:
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Run until every node halts or ``max_rounds`` is reached."""
         topology = self.topology
-        observers = tuple(self.observers)
+        # Ambient observers (repro.congest.observers.ambient_observation)
+        # join the explicit ones for this run only; their presence routes
+        # engine selection exactly like explicit observers.
+        observers = tuple(self.observers) + ambient_observers()
         transport = Transport(topology,
                               bandwidth_bits=self.network.bandwidth_bits,
                               enforce=self.enforce_bandwidth,

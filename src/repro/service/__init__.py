@@ -16,7 +16,13 @@ machinery that exploits it:
   ``ProcessPoolExecutor`` worker pool;
 * :mod:`repro.service.server` / :mod:`repro.service.client` -- a
   stdlib-only JSON-over-HTTP endpoint (``repro serve``: ``POST /solve``,
-  ``GET /report/<key>``, ``/healthz``, ``/stats``) and its thin client.
+  ``GET /report/<key>``, ``/healthz``, ``/stats``, ``/metrics``,
+  ``/events/<key>``) and its thin client;
+* :mod:`repro.service.metrics` / :mod:`repro.service.jsonlog` /
+  :mod:`repro.service.events` -- the observability layer: a stdlib
+  Prometheus-text metrics registry, JSON-lines structured request
+  logging (``repro serve --log-json``) and live solve streaming over
+  server-sent events.
 
 Quick use (in-process, no HTTP)::
 
@@ -42,25 +48,36 @@ from repro.service.cache import (
     solve_key,
 )
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.events import EventChannel, SolveEventBus, StreamingObserver
+from repro.service.jsonlog import configure_json_logging, log_event
+from repro.service.metrics import MetricsRegistry, ServiceMetrics
 from repro.service.scheduler import (
     AdmissionError,
     SolveRequest,
     SolveResponse,
     SolveScheduler,
 )
-from repro.service.server import ServiceServer
+from repro.service.server import ServiceServer, SolveTimeout
 
 __all__ = [
     "AdmissionError",
     "CachedSolve",
     "CacheStats",
+    "EventChannel",
+    "MetricsRegistry",
     "ServiceClient",
     "ServiceError",
+    "ServiceMetrics",
     "ServiceServer",
     "SolveCache",
+    "SolveEventBus",
     "SolveRequest",
     "SolveResponse",
     "SolveScheduler",
-    "default_cache_path",
+    "SolveTimeout",
+    "StreamingObserver",
+    "configure_json_logging",
+    "log_event",
     "solve_key",
+    "default_cache_path",
 ]

@@ -26,6 +26,12 @@ Tiers
 
 Both tiers are guarded by one lock, so the cache is safe under the
 threaded HTTP server and the asyncio scheduler alike.
+
+Accounting contract: :meth:`SolveCache.lookup` / :meth:`SolveCache.get`
+*count* (hits/misses feed ``hit_rate``) and *promote* (LRU order, disk ->
+memory); :meth:`SolveCache.peek` does neither -- it exists so read-only
+surfaces like ``GET /report/<key>`` cannot distort the stats operators
+alarm on, nor churn the eviction order (the bug this split fixed).
 """
 
 from __future__ import annotations
@@ -218,6 +224,28 @@ class SolveCache:
     def get(self, key: str, *, require_certificate: bool = False,
             ) -> RunReport | None:
         return self.lookup(key, require_certificate=require_certificate)[0]
+
+    def peek(self, key: str, *, require_certificate: bool = False,
+             ) -> tuple[RunReport | None, str]:
+        """Read-only ``lookup``: no stats accounting, no LRU churn.
+
+        ``GET /report/<key>`` polling goes through here -- a monitoring
+        loop hammering the report endpoint must not inflate ``hit_rate``
+        (operators size the cache off that number) nor promote the polled
+        key ahead of genuinely re-requested entries in the LRU.  A
+        persistent-tier peek deserialises the row but does *not* promote
+        it into the memory tier.
+        """
+        with self._lock:
+            report = self._memory.get(key)
+            if report is not None and (report.certificate is not None
+                                       or not require_certificate):
+                return report, "memory"
+            report = self._read_persistent(key)
+            if report is not None and (report.certificate is not None
+                                       or not require_certificate):
+                return report, "persistent"
+            return None, "miss"
 
     def put(self, key: str, report: RunReport) -> None:
         """Store a report in both tiers (last write wins on disk)."""

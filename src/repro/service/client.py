@@ -105,8 +105,15 @@ class ServiceClient:
     def solve(self, workload: str, algorithm: str, *,
               config: Mapping[str, Any] | None = None, graph_seed: int = 0,
               seed: int | None = None, verify: bool = True,
-              priority: int = 10) -> dict[str, Any]:
-        """POST one solve; returns the serving row (status, key, report)."""
+              priority: int = 10, wait: bool = True,
+              stream: bool = False) -> dict[str, Any]:
+        """POST one solve; returns the serving row (status, key, report).
+
+        ``wait=False`` returns ``{"status": "accepted", "key": ...}`` as
+        soon as the job is admitted; combine with ``stream=True`` and
+        :meth:`stream_events` to watch the solve live, or poll
+        :meth:`report`.
+        """
         return self._request("POST", "/solve", {
             "workload": workload,
             "algorithm": algorithm,
@@ -115,6 +122,8 @@ class ServiceClient:
             "seed": seed,
             "verify": verify,
             "priority": priority,
+            "wait": wait,
+            "stream": stream,
         })
 
     def report(self, key: str) -> dict[str, Any]:
@@ -126,6 +135,59 @@ class ServiceClient:
 
     def stats(self) -> dict[str, Any]:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """GET the Prometheus text exposition from ``/metrics``."""
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout)
+        try:
+            connection.request("GET", self._prefix + "/metrics")
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(payload.decode("utf-8")).get(
+                        "error", "")
+                except Exception:  # noqa: BLE001 - non-JSON error body
+                    message = response.reason
+                raise ServiceError(response.status, str(message))
+            return payload.decode("utf-8")
+        finally:
+            connection.close()
+
+    def stream_events(self, key: str, *, timeout: float | None = None):
+        """Yield the SSE events of ``GET /events/<key>`` as dicts.
+
+        The generator ends when the server sends the terminal ``end``
+        frame (or closes the stream).  Events replay from the beginning
+        for late subscribers, so calling this after ``solve(...,
+        wait=False, stream=True)`` never misses early rounds.  Uses a
+        dedicated connection -- the stream is unframed (read to EOF) and
+        must not poison the keep-alive pool.
+        """
+        connection = http.client.HTTPConnection(
+            self._host, self._port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            connection.request("GET", self._prefix + f"/events/{key}",
+                               headers={"Accept": "text/event-stream"})
+            response = connection.getresponse()
+            if response.status >= 400:
+                payload = response.read()
+                try:
+                    message = json.loads(payload.decode("utf-8")).get(
+                        "error", "")
+                except Exception:  # noqa: BLE001 - non-JSON error body
+                    message = response.reason
+                raise ServiceError(response.status, str(message))
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if not line or line.startswith(":"):
+                    continue  # frame separator / keep-alive comment
+                if line.startswith("data:"):
+                    yield json.loads(line[len("data:"):].strip())
+        finally:
+            connection.close()
 
     def wait_healthy(self, *, deadline_s: float = 30.0,
                      interval_s: float = 0.1) -> dict[str, Any]:

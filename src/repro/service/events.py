@@ -1,0 +1,254 @@
+"""Live solve streaming: the ``/events/<key>`` bus and its observer bridge.
+
+A streamed solve travels through three hops:
+
+1. **worker side** -- :class:`StreamingObserver` is installed as an
+   *ambient* observer (:func:`repro.congest.observers.ambient_observation`)
+   around ``repro.solve``, so every simulator-native round lands one event
+   on a queue-like sink.  Inline (thread) workers publish straight into the
+   channel; process-pool workers publish into a ``multiprocessing.Manager``
+   queue that the scheduler pumps back into the channel.
+2. **scheduler side** -- :class:`SolveEventBus` holds one
+   :class:`EventChannel` per streamed content address.  A channel keeps a
+   bounded ring buffer of recent events, so a subscriber attaching *after*
+   round 40 still replays rounds 1..40 before going live -- the
+   subscribe/submit race is therefore benign by construction.
+3. **HTTP side** -- ``GET /events/<key>`` subscribes and writes each event
+   as one SSE ``data:`` frame; the channel's ``None`` sentinel ends the
+   stream.
+
+Event vocabulary (every event is one JSON object with an ``"event"`` key):
+
+``queued``     admission succeeded; carries cell/algorithm/shard.
+``run_start``  the simulator run began; carries engine and node count.
+``round``      one executed round; carries round, active node count,
+               message/bit totals and newly-halted count.
+``run_end``    the simulator run finished; carries rounds and totals.
+``end``        terminal serving outcome (``status`` of ``computed`` /
+               ``error`` / ``hit`` / ``cached``); always the last frame.
+
+Graph-level (non-simulator) algorithms produce no ``round`` frames --
+their stream is ``queued`` then ``end``, which still gives pollers a
+positive completion signal.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Callable
+
+from repro.congest.observers import RoundObserver, RoundSnapshot, RunContext
+
+__all__ = [
+    "EventChannel",
+    "SolveEventBus",
+    "StreamingObserver",
+    "END_OF_STREAM",
+]
+
+#: Sentinel placed on subscriber queues after the terminal event.
+END_OF_STREAM = None
+
+#: How many recent events a channel replays to late subscribers.
+_CHANNEL_BUFFER = 512
+
+
+class EventChannel:
+    """One streamed solve: a ring buffer plus live subscriber queues."""
+
+    def __init__(self, key: str, *, buffer: int = _CHANNEL_BUFFER) -> None:
+        self.key = key
+        self._buffer: deque[dict[str, Any]] = deque(maxlen=max(1, buffer))
+        self._subscribers: list["queue.Queue[dict[str, Any] | None]"] = []
+        self._lock = threading.Lock()
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def publish(self, event: dict[str, Any]) -> None:
+        """Buffer the event and fan it out to current subscribers."""
+        with self._lock:
+            if self._done:
+                return
+            self._buffer.append(event)
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.put(event)
+
+    def close(self, final_event: dict[str, Any] | None = None) -> None:
+        """Publish an optional terminal event, then end every stream."""
+        with self._lock:
+            if self._done:
+                return
+            if final_event is not None:
+                self._buffer.append(final_event)
+            self._done = True
+            subscribers = list(self._subscribers)
+            self._subscribers.clear()
+        for subscriber in subscribers:
+            if final_event is not None:
+                subscriber.put(final_event)
+            subscriber.put(END_OF_STREAM)
+
+    def subscribe(self) -> "queue.Queue[dict[str, Any] | None]":
+        """A queue pre-loaded with the buffered history (+ sentinel if done)."""
+        subscription: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
+        with self._lock:
+            for event in self._buffer:
+                subscription.put(event)
+            if self._done:
+                subscription.put(END_OF_STREAM)
+            else:
+                self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self,
+                    subscription: "queue.Queue[dict[str, Any] | None]",
+                    ) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass  # already closed/never live
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+
+class SolveEventBus:
+    """Channels by content address, with a bounded archive of closed ones.
+
+    A channel is *opened* when a streamed request is admitted and *closed*
+    when its job reaches a terminal state; closed channels move to a
+    bounded LRU archive so ``GET /events/<key>`` issued just after
+    completion still replays the run instead of 404ing.
+    """
+
+    def __init__(self, *, archive_entries: int = 128) -> None:
+        self._live: dict[str, EventChannel] = {}
+        self._archive: "OrderedDict[str, EventChannel]" = OrderedDict()
+        self._archive_entries = max(1, archive_entries)
+        self._lock = threading.Lock()
+
+    def open(self, key: str) -> EventChannel:
+        """The live channel for ``key`` (created on first use)."""
+        with self._lock:
+            channel = self._live.get(key)
+            if channel is None:
+                channel = EventChannel(key)
+                self._live[key] = channel
+            return channel
+
+    def get(self, key: str) -> EventChannel | None:
+        """The live or archived channel for ``key`` (``None`` if unknown)."""
+        with self._lock:
+            channel = self._live.get(key)
+            if channel is None:
+                channel = self._archive.get(key)
+            return channel
+
+    def live_keys(self) -> list[str]:
+        with self._lock:
+            return list(self._live)
+
+    def close(self, key: str,
+              final_event: dict[str, Any] | None = None) -> None:
+        """Close ``key``'s channel and move it to the archive."""
+        with self._lock:
+            channel = self._live.pop(key, None)
+            if channel is not None:
+                self._archive[key] = channel
+                self._archive.move_to_end(key)
+                while len(self._archive) > self._archive_entries:
+                    self._archive.popitem(last=False)
+        if channel is not None:
+            channel.close(final_event)
+
+    def shutdown(self, reason: str = "server shutting down") -> None:
+        """Terminate every live stream (server/scheduler teardown)."""
+        with self._lock:
+            channels = list(self._live.items())
+            self._live.clear()
+        for key, channel in channels:
+            channel.close({"event": "end", "key": key, "status": "error",
+                           "error": reason})
+
+
+class _ChannelSink:
+    """Queue-shaped adapter publishing straight into a channel.
+
+    Inline (thread-mode) workers share the scheduler's process, so their
+    :class:`StreamingObserver` can skip the cross-process queue entirely;
+    the sentinel is swallowed because the scheduler closes the channel
+    itself once the job settles.
+    """
+
+    def __init__(self, channel: EventChannel,
+                 on_publish: Callable[[dict[str, Any]], None] | None = None,
+                 ) -> None:
+        self._channel = channel
+        self._on_publish = on_publish
+
+    def put(self, event: dict[str, Any] | None) -> None:
+        if event is None:
+            return
+        self._channel.publish(event)
+        if self._on_publish is not None:
+            self._on_publish(event)
+
+
+class StreamingObserver(RoundObserver):
+    """Bridge :class:`RoundObserver` hooks onto a queue-like event sink.
+
+    ``sink`` only needs a ``put(dict)`` method -- a ``queue.Queue``, a
+    ``multiprocessing`` manager proxy or a :class:`_ChannelSink` all fit.
+    ``stride`` thins round events for very long runs (the final round is
+    always emitted via ``run_end``).  Attaching any observer routes a
+    vector-engine run through its scalar fallback, so streamed solves
+    trade raw speed for watchability by design -- the fallback is visible
+    in the report's ``engine_used`` metric.
+    """
+
+    def __init__(self, sink: Any, *, stride: int = 1) -> None:
+        self._sink = sink
+        self._stride = max(1, int(stride))
+        self._active = 0
+
+    def on_run_start(self, context: RunContext) -> None:
+        self._sink.put({
+            "event": "run_start",
+            "engine": context.engine,
+            "n": context.topology.n,
+        })
+
+    def on_round_start(self, round_number: int, active_count: int) -> None:
+        self._active = active_count
+
+    def on_round_end(self, round_number: int,
+                     snapshot: RoundSnapshot) -> None:
+        if round_number % self._stride:
+            return
+        self._sink.put({
+            "event": "round",
+            "round": snapshot.round_number,
+            "active": snapshot.active_at_start,
+            "newly_halted": len(snapshot.newly_halted),
+            "messages": snapshot.messages,
+            "bits": snapshot.bits,
+            "max_edge_bits": snapshot.max_edge_bits,
+        })
+
+    def on_run_end(self, result: Any) -> None:
+        self._sink.put({
+            "event": "run_end",
+            "rounds": result.rounds,
+            "messages": result.total_messages,
+            "bits": result.total_bits,
+            "halted": result.halted,
+            "engine_used": result.engine_used or result.engine,
+        })

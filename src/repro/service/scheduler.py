@@ -29,6 +29,23 @@ Pipeline (``submit``)
    state) and distinct shards run genuinely in parallel.  Lower ``priority``
    values run first within a shard; FIFO breaks ties.
 
+``submit(..., wait=False)`` returns as soon as the job is admitted
+(``status="accepted"``, no report): the caller polls ``/report/<key>`` or
+watches ``/events/<key>``.
+
+Observability
+-------------
+Every request outcome -- ``hit``, ``computed``, ``coalesced``,
+``rejected``, ``invalid``, ``error`` and ``cancelled`` (client timeout) --
+flows through one funnel, :meth:`SolveScheduler._finish_request`, which
+records the latency sample (``latencies_s`` *and* the per-algorithm
+Prometheus histogram, labeled by status) and emits one structured
+``request`` log line.  Earlier versions only recorded latency for
+successful responses, which hid exactly the requests operators care
+about; the funnel is the fix.  A request with ``stream=True`` additionally
+opens an :class:`~repro.service.events.EventChannel` that round-by-round
+progress is published to (see :mod:`repro.service.events`).
+
 Workers return the *serialised* report (``repro.api.report_to_json``), not
 the live object -- payloads never cross the process boundary, mirroring the
 persistent cache tier.  The request's ``seed`` is forwarded verbatim
@@ -40,6 +57,7 @@ plan predicted and cached provenance is identical to a fresh
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import os
 import threading
@@ -54,6 +72,14 @@ import networkx as nx
 from repro.api import REGISTRY, RunReport
 from repro.api.serialize import report_from_json, report_to_json
 from repro.service.cache import SolveCache, key_for_plan
+from repro.service.events import (
+    EventChannel,
+    SolveEventBus,
+    StreamingObserver,
+    _ChannelSink,
+)
+from repro.service.jsonlog import log_event
+from repro.service.metrics import ServiceMetrics
 
 __all__ = ["AdmissionError", "SolveRequest", "SolveResponse", "SolveScheduler",
            "resolve_workload"]
@@ -62,6 +88,10 @@ __all__ = ["AdmissionError", "SolveRequest", "SolveResponse", "SolveScheduler",
 class AdmissionError(RuntimeError):
     """Raised when the scheduler refuses a request: the pending queues are
     full (backpressure) or the scheduler is shutting down / closed."""
+
+
+#: ``SolveScheduler(metrics=...)`` default: build a private registry.
+_AUTO_METRICS = object()
 
 
 def resolve_workload(workload: str) -> str:
@@ -98,12 +128,17 @@ class SolveRequest:
     verify: bool = True
     #: Lower runs first within a shard; ties are FIFO.
     priority: int = 10
+    #: Publish round-by-round progress on ``/events/<key>`` while solving.
+    #: Not part of the content address: a streamed and an unstreamed
+    #: request for the same solve coalesce onto one computation (whose
+    #: streaming follows the *first* enqueued request).
+    stream: bool = False
 
     @classmethod
     def from_obj(cls, obj: Mapping[str, Any]) -> "SolveRequest":
         """Parse + validate a JSON request body (unknown keys rejected)."""
         allowed = {"workload", "algorithm", "graph_seed", "seed", "config",
-                   "verify", "priority"}
+                   "verify", "priority", "stream"}
         unknown = set(obj) - allowed
         if unknown:
             raise ValueError(f"unknown request fields {sorted(unknown)}; "
@@ -123,6 +158,7 @@ class SolveRequest:
             config=tuple(sorted(config.items())),
             verify=bool(obj.get("verify", True)),
             priority=int(obj.get("priority", 10)),
+            stream=bool(obj.get("stream", False)),
         )
 
     @property
@@ -132,40 +168,62 @@ class SolveRequest:
 
 @dataclass
 class SolveResponse:
-    """What ``submit`` resolves to: the report plus serving metadata."""
+    """What ``submit`` resolves to: the report plus serving metadata.
 
-    report: RunReport
+    ``report`` is ``None`` exactly for ``status="accepted"`` (a
+    ``wait=False`` submit); ``tier`` names the cache tier that served a
+    hit (``"memory"`` / ``"persistent"``) and is ``None`` otherwise.
+    """
+
+    report: RunReport | None
     key: str
-    status: str  # "hit", "computed" or "coalesced"
+    status: str  # "hit", "computed", "coalesced" or "accepted"
     cell: str
     latency_s: float = 0.0
+    tier: str | None = None
 
     def to_row(self) -> dict[str, Any]:
         import json
 
-        row = {
+        row: dict[str, Any] = {
             "key": self.key,
             "status": self.status,
             "cached": self.status == "hit",
             "cell": self.cell,
             "latency_s": round(self.latency_s, 6),
-            "report": json.loads(report_to_json(self.report)),
         }
+        if self.tier is not None:
+            row["tier"] = self.tier
+        if self.report is not None:
+            row["report"] = json.loads(report_to_json(self.report))
         return row
 
 
 def _worker_solve(workload: str, graph_seed: int, algorithm: str,
                   config: dict[str, Any], seed: int | None,
-                  verify: bool) -> str:
+                  verify: bool, events_sink: Any = None) -> str:
     """Worker-process entry point: rebuild the graph, solve, serialise.
 
     ``seed`` is forwarded verbatim so the worker re-derives exactly the
     seed/policy the scheduler's plan predicted -- cached provenance is
     indistinguishable from a fresh in-process ``repro.solve``.
+
+    ``events_sink`` (anything with ``put(dict)``; a manager-queue proxy
+    for process workers, a channel adapter for inline ones) switches on
+    live streaming: a :class:`StreamingObserver` is ambiently installed
+    so simulator-native rounds publish progress while the solve runs.
     """
     graph = build_workload(workload, graph_seed=graph_seed)
-    report = REGISTRY.solve(graph, algorithm, seed=seed, verify=verify,
-                            **config)
+    if events_sink is None:
+        report = REGISTRY.solve(graph, algorithm, seed=seed, verify=verify,
+                                **config)
+    else:
+        from repro.congest.observers import ambient_observation
+
+        observer = StreamingObserver(events_sink)
+        with ambient_observation(observer):
+            report = REGISTRY.solve(graph, algorithm, seed=seed,
+                                    verify=verify, **config)
     return report_to_json(report)
 
 
@@ -176,7 +234,10 @@ class _Job:
     request: SolveRequest
     cell: str
     key: str
+    shard: int = 0
     future: "asyncio.Future[RunReport]" = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Live event channel when the enqueuing request asked to stream.
+    channel: EventChannel | None = field(repr=False, default=None)
 
 
 class SolveScheduler:
@@ -185,10 +246,17 @@ class SolveScheduler:
     def __init__(self, *, cache: SolveCache | None = None,
                  shards: int | None = None, max_pending: int = 256,
                  inline: bool = False,
-                 graph_memo_entries: int = 64) -> None:
+                 graph_memo_entries: int = 64,
+                 metrics: ServiceMetrics | None | object = _AUTO_METRICS,
+                 ) -> None:
         """``inline=True`` executes jobs on threads in-process (no worker
         pool) -- used by tests and constrained CI environments; the shard
         queues, coalescing and admission behave identically.
+
+        ``metrics`` defaults to a private :class:`ServiceMetrics` registry
+        (rendered by ``GET /metrics``); pass ``None`` to disable metric
+        recording entirely -- the configuration the observability-overhead
+        benchmark gate compares against.
 
         The scheduler always resolves against the default
         :data:`repro.api.REGISTRY`: worker processes rebuild it on import
@@ -216,9 +284,18 @@ class SolveScheduler:
         self._closed = False
         self.counters: dict[str, int] = {
             "requests": 0, "hits": 0, "computed": 0, "coalesced": 0,
-            "rejected": 0, "errors": 0,
+            "rejected": 0, "errors": 0, "invalid": 0, "timeouts": 0,
         }
         self.latencies_s: deque[float] = deque(maxlen=4096)
+        self.events = SolveEventBus()
+        if metrics is _AUTO_METRICS:
+            metrics = ServiceMetrics()
+        self.metrics: ServiceMetrics | None = metrics  # type: ignore[assignment]
+        if self.metrics is not None:
+            self.metrics.bind_scheduler(self)
+        #: Lazily-started multiprocessing.Manager for cross-process event
+        #: queues; only created when a process-pool job actually streams.
+        self._manager = None
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -250,10 +327,13 @@ class SolveScheduler:
         * jobs still sitting in the shard queues when the consumers are
           cancelled have their futures failed with :class:`AdmissionError`,
           so every submitter (including coalesced waiters sharing the
-          future) unblocks instead of hanging forever.
+          future) unblocks instead of hanging forever;
+        * every live ``/events/<key>`` stream is terminated with an
+          ``end`` frame, so SSE handler threads unblock too.
         """
         self._closed = True
         if not self._started:
+            self.events.shutdown("scheduler closed")
             return
         self._started = False
         for task in self._consumers:
@@ -284,6 +364,10 @@ class SolveScheduler:
         self._consumers.clear()
         self._executors.clear()
         self._queues.clear()
+        self.events.shutdown("scheduler closed")
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
 
     #: ``close`` is the conventional name for the terminal shutdown.
     close = stop
@@ -317,41 +401,111 @@ class SolveScheduler:
                                   **request.config_dict)
         return cell, key_for_plan(plan)
 
-    async def submit(self, request: SolveRequest) -> SolveResponse:
-        """Serve one request (see the module docstring for the pipeline)."""
+    def _finish_request(self, request: SolveRequest, status: str,
+                        start: float, *, key: str | None = None,
+                        cell: str | None = None, tier: str | None = None,
+                        shard: int | None = None,
+                        report: RunReport | None = None,
+                        ) -> SolveResponse:
+        """The one funnel every request outcome flows through.
+
+        Records the latency sample (deque + labeled histogram) and emits
+        the structured ``request`` log line -- for *every* status, not
+        just successes: error, rejected, invalid and cancelled requests
+        are precisely the ones operators page on, and they used to be
+        invisible in ``latencies_s``.
+        """
+        latency = time.perf_counter() - start
+        self.latencies_s.append(latency)
+        if self.metrics is not None:
+            self.metrics.solve_latency.observe(latency, request.algorithm,
+                                               status)
+        log_event("request", key=key, cell=cell,
+                  algorithm=request.algorithm, status=status,
+                  shard=shard, latency_ms=round(latency * 1e3, 3), tier=tier)
+        return SolveResponse(report=report, key=key or "", status=status,
+                             cell=cell or "", latency_s=latency, tier=tier)
+
+    async def submit(self, request: SolveRequest, *,
+                     wait: bool = True) -> SolveResponse:
+        """Serve one request (see the module docstring for the pipeline).
+
+        ``wait=False`` returns ``status="accepted"`` (no report) right
+        after the job is admitted and enqueued; cache hits still answer
+        with the report immediately.
+        """
         start = time.perf_counter()
         self.counters["requests"] += 1
         if self._closed:
             self.counters["rejected"] += 1
+            self._finish_request(request, "rejected", start)
             raise AdmissionError("scheduler is closed")
         loop = asyncio.get_running_loop()
-        cell, key = await loop.run_in_executor(None, self._plan_request,
-                                               request)
+        try:
+            cell, key = await loop.run_in_executor(None, self._plan_request,
+                                                   request)
+        except (KeyError, TypeError, ValueError):
+            # Unknown workload/algorithm or a malformed typed config (the
+            # server maps these to 400): still one latency sample.
+            self.counters["invalid"] += 1
+            self._finish_request(request, "invalid", start)
+            raise
         if self._closed:  # closed while planning off-loop: do not enqueue
             self.counters["rejected"] += 1
+            self._finish_request(request, "rejected", start, key=key,
+                                 cell=cell)
             raise AdmissionError("scheduler is closed")
 
-        report = self.cache.get(key, require_certificate=request.verify)
+        report, tier = self.cache.lookup(key,
+                                         require_certificate=request.verify)
         if report is not None:
             self.counters["hits"] += 1
-            return self._respond(report, key, "hit", cell, start)
+            if request.stream:
+                self._replay_cached_stream(key, cell, request, tier)
+            return self._finish_request(request, "hit", start, key=key,
+                                        cell=cell, tier=tier, report=report)
 
         existing = self._inflight.get(key)
         if existing is not None:
             self.counters["coalesced"] += 1
-            report = await asyncio.shield(existing)
-            return self._respond(report, key, "coalesced", cell, start)
+            try:
+                report = await asyncio.shield(existing)
+            except asyncio.CancelledError:
+                self._finish_request(request, "cancelled", start, key=key,
+                                     cell=cell)
+                raise
+            except AdmissionError:
+                self._finish_request(request, "rejected", start, key=key,
+                                     cell=cell)
+                raise
+            except Exception:
+                self._finish_request(request, "error", start, key=key,
+                                     cell=cell)
+                raise
+            return self._finish_request(request, "coalesced", start, key=key,
+                                        cell=cell, report=report)
 
         if not self._started:
             await self.start()
         if self._pending >= self.max_pending:
             self.counters["rejected"] += 1
+            self._finish_request(request, "rejected", start, key=key,
+                                 cell=cell)
             raise AdmissionError(
                 f"scheduler saturated: {self._pending} pending jobs "
                 f"(max_pending={self.max_pending})")
 
         future: asyncio.Future = loop.create_future()
-        job = _Job(request=request, cell=cell, key=key, future=future)
+        shard = int(key, 16) % self.shards
+        channel: EventChannel | None = None
+        if request.stream:
+            channel = self.events.open(key)
+            self._publish(channel, {
+                "event": "queued", "key": key, "cell": cell,
+                "algorithm": request.algorithm, "shard": shard,
+            })
+        job = _Job(request=request, cell=cell, key=key, shard=shard,
+                   future=future, channel=channel)
         self._inflight[key] = future
         # The in-flight entry lives exactly as long as the *job*: a
         # submitter cancelled mid-await (e.g. wait_for timeout) must not
@@ -361,12 +515,29 @@ class SolveScheduler:
         # never logs "exception was never retrieved".
         future.add_done_callback(self._retire_inflight(key))
         self._pending += 1
-        shard = int(key, 16) % self.shards
         await self._queues[shard].put(
             (request.priority, next(self._seq), job))
-        report = await asyncio.shield(future)
-        self.counters["computed"] += 1
-        return self._respond(report, key, "computed", cell, start)
+        if not wait:
+            return self._finish_request(request, "accepted", start, key=key,
+                                        cell=cell, shard=shard)
+        try:
+            report = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            # The *submitter* was cancelled (client timeout / teardown);
+            # the shielded job keeps running and will land in the cache.
+            self._finish_request(request, "cancelled", start, key=key,
+                                 cell=cell, shard=shard)
+            raise
+        except AdmissionError:
+            self._finish_request(request, "rejected", start, key=key,
+                                 cell=cell, shard=shard)
+            raise
+        except Exception:
+            self._finish_request(request, "error", start, key=key, cell=cell,
+                                 shard=shard)
+            raise
+        return self._finish_request(request, "computed", start, key=key,
+                                    cell=cell, shard=shard, report=report)
 
     def _retire_inflight(self, key: str):
         def callback(future: asyncio.Future) -> None:
@@ -377,12 +548,33 @@ class SolveScheduler:
 
         return callback
 
-    def _respond(self, report: RunReport, key: str, status: str, cell: str,
-                 start: float) -> SolveResponse:
-        latency = time.perf_counter() - start
-        self.latencies_s.append(latency)
-        return SolveResponse(report=report, key=key, status=status, cell=cell,
-                             latency_s=latency)
+    def _publish(self, channel: EventChannel | None,
+                 event: dict[str, Any]) -> None:
+        if channel is None:
+            return
+        channel.publish(event)
+        if self.metrics is not None:
+            self.metrics.stream_events.inc(event.get("event", "unknown"))
+
+    def _replay_cached_stream(self, key: str, cell: str,
+                              request: SolveRequest, tier: str) -> None:
+        """A streamed request served from cache still gets a terminal
+        frame, so ``stream_events`` callers always see an ``end``."""
+        channel = self.events.open(key)
+        self._publish(channel, {
+            "event": "end", "key": key, "cell": cell, "status": "hit",
+            "tier": tier, "algorithm": request.algorithm,
+        })
+        self.events.close(key)
+
+    def record_timeout(self, request: SolveRequest | None = None) -> None:
+        """Account one client-abandoned (504) request; thread-safe.
+
+        Called by the HTTP front end after it cancels the cross-thread
+        future -- the scheduler-side coroutine records the ``cancelled``
+        latency sample, this records the *why*.
+        """
+        self.counters["timeouts"] += 1
 
     async def _consume(self, shard: int) -> None:
         queue = self._queues[shard]
@@ -390,16 +582,37 @@ class SolveScheduler:
         loop = asyncio.get_running_loop()
         while True:
             _, _, job = await queue.get()
+            events_sink = pump = None
             try:
+                events_sink, pump = self._job_event_plumbing(job, loop)
                 request = job.request
-                serialized = await loop.run_in_executor(
-                    executor, _worker_solve, job.cell, request.graph_seed,
-                    request.algorithm, request.config_dict, request.seed,
-                    request.verify)
+                if events_sink is None:
+                    # Exactly the historical six positional arguments:
+                    # tests (and any deployment) that substitute
+                    # ``_worker_solve`` keep working for non-streamed jobs.
+                    serialized = await loop.run_in_executor(
+                        executor, _worker_solve, job.cell,
+                        request.graph_seed, request.algorithm,
+                        request.config_dict, request.seed, request.verify)
+                else:
+                    serialized = await loop.run_in_executor(
+                        executor, functools.partial(
+                            _worker_solve, job.cell, request.graph_seed,
+                            request.algorithm, request.config_dict,
+                            request.seed, request.verify, events_sink))
                 report = report_from_json(serialized)
                 self.cache.put(job.key, report)
+                self.counters["computed"] += 1
+                self._record_engine_metrics(request.algorithm, report)
                 if not job.future.done():
                     job.future.set_result(report)
+                if job.channel is not None:
+                    await self._settle_stream(job, pump, events_sink, {
+                        "event": "end", "key": job.key, "status": "computed",
+                        "rounds": report.rounds,
+                        "certified": report.certificate is not None,
+                    })
+                    pump = None
             except asyncio.CancelledError:
                 # Consumer cancellation means shutdown: fail (not cancel)
                 # the job's future so submitters awaiting it -- including
@@ -408,14 +621,91 @@ class SolveScheduler:
                 if not job.future.done():
                     job.future.set_exception(AdmissionError(
                         "scheduler closed while the request was running"))
+                if pump is not None and events_sink is not None:
+                    try:  # best effort: unblock the pump thread
+                        events_sink.put(None)
+                    except Exception:  # noqa: BLE001 - manager gone
+                        pass
                 raise
             except Exception as error:  # noqa: BLE001 - surfaced per-request
                 self.counters["errors"] += 1
+                log_event("job_error", key=job.key, cell=job.cell,
+                          algorithm=job.request.algorithm,
+                          error=f"{type(error).__name__}: {error}")
                 if not job.future.done():
                     job.future.set_exception(error)
+                if job.channel is not None:
+                    await self._settle_stream(job, pump, events_sink, {
+                        "event": "end", "key": job.key, "status": "error",
+                        "error": f"{type(error).__name__}: {error}",
+                    })
+                    pump = None
             finally:
                 self._pending -= 1
                 queue.task_done()
+
+    # ------------------------------------------------------ event plumbing
+    def _job_event_plumbing(self, job: _Job, loop: asyncio.AbstractEventLoop,
+                            ):
+        """``(events_sink, pump_future)`` for a job; ``(None, None)`` when
+        not streaming.
+
+        Inline workers run in this process, so the sink publishes straight
+        into the channel.  Process-pool workers get a manager-queue proxy;
+        a thread (the *pump*) drains it back into the channel until the
+        ``None`` sentinel arrives after the job settles.
+        """
+        if job.channel is None:
+            return None, None
+        if self.inline:
+            sink = _ChannelSink(
+                job.channel,
+                on_publish=(None if self.metrics is None else
+                            (lambda event: self.metrics.stream_events.inc(
+                                event.get("event", "unknown")))))
+            return sink, None
+        if self._manager is None:
+            import multiprocessing
+
+            self._manager = multiprocessing.Manager()
+        events_queue = self._manager.Queue()
+        channel = job.channel
+
+        def pump() -> None:
+            while True:
+                event = events_queue.get()
+                if event is None:
+                    return
+                self._publish(channel, event)
+
+        pump_future = loop.run_in_executor(None, pump)
+        return events_queue, pump_future
+
+    async def _settle_stream(self, job: _Job, pump, events_sink,
+                             final_event: dict[str, Any]) -> None:
+        """Drain the pump (process mode), publish the terminal frame and
+        archive the channel."""
+        if pump is not None and events_sink is not None:
+            events_sink.put(None)  # FIFO: lands after every worker event
+            try:
+                await pump
+            except Exception:  # noqa: BLE001 - manager died mid-shutdown
+                pass
+        self._publish(job.channel, final_event)
+        self.events.close(job.key)
+
+    def _record_engine_metrics(self, algorithm: str,
+                               report: RunReport) -> None:
+        """Engine requested/used counts from ``RunReport.metrics``."""
+        if self.metrics is None:
+            return
+        requested = report.metrics.get("engine_requested")
+        used = report.metrics.get("engine_used")
+        if requested is None or used is None:
+            return
+        self.metrics.engine_solves.inc(algorithm, requested, used)
+        if requested != used:
+            self.metrics.engine_fallbacks.inc(algorithm, requested, used)
 
     # --------------------------------------------------------------- stats
     def _percentile(self, values: list[float], q: float) -> float:
@@ -425,7 +715,11 @@ class SolveScheduler:
         return values[index]
 
     def stats_row(self) -> dict[str, Any]:
-        """The ``/stats`` document: counters, hit rate, latency percentiles."""
+        """The ``/stats`` document: counters, hit rate, latency percentiles.
+
+        ``latency_ms`` covers *every* request outcome (labeled breakdowns
+        live in the ``/metrics`` histograms).
+        """
         values = sorted(self.latencies_s)
         requests = self.counters["requests"]
         served_from_cache = self.counters["hits"]
@@ -436,10 +730,13 @@ class SolveScheduler:
             "coalesced": self.counters["coalesced"],
             "rejected": self.counters["rejected"],
             "errors": self.counters["errors"],
+            "invalid": self.counters["invalid"],
+            "timeouts": self.counters["timeouts"],
             "hit_rate": round(served_from_cache / requests, 4) if requests else 0.0,
             "pending": self._pending,
             "shards": self.shards,
             "inline_workers": self.inline,
+            "live_streams": len(self.events.live_keys()),
             "latency_ms": {
                 "count": len(values),
                 "p50": round(1e3 * self._percentile(values, 0.50), 3),

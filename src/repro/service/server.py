@@ -14,16 +14,35 @@ Endpoints
 ``POST /solve``
     Body: ``{"workload": "regular-n64-d4", "algorithm": "power-mis",
     "config": {"k": 2}, "graph_seed": 0, "seed": null, "verify": true,
-    "priority": 10}``.  Response: the serving metadata (``key``,
-    ``status`` of ``hit``/``computed``/``coalesced``, ``latency_s``) plus
-    the full serialised ``RunReport``.  400 on malformed requests, 429
-    when admission control refuses, 500 on solver faults.
+    "priority": 10, "wait": true, "stream": false}``.  Response: the
+    serving metadata (``key``, ``status`` of ``hit``/``computed``/
+    ``coalesced``, ``latency_s``) plus the full serialised ``RunReport``.
+    ``"wait": false`` answers ``{"status": "accepted", "key": ...}`` as
+    soon as the job is admitted (poll ``/report/<key>`` or watch
+    ``/events/<key>``); ``"stream": true`` additionally publishes live
+    progress on ``/events/<key>``.  400 on malformed requests, 429 when
+    admission control refuses, 504 when the solve outlives the request
+    timeout, 500 on solver faults.
 ``GET /report/<key>``
-    The cached report for a content address (404 when unknown).
+    The cached report for a content address (404 when unknown).  Served
+    through :meth:`SolveCache.peek`: polling this endpoint never inflates
+    the cache hit rate nor reorders the LRU.
+``GET /events/<key>``
+    Server-sent events: one ``data: {json}`` frame per solve event
+    (``queued`` / ``run_start`` / ``round`` / ``run_end`` / ``end``; see
+    :mod:`repro.service.events`).  Late subscribers replay buffered
+    history; the stream ends after the terminal ``end`` frame.  Keys
+    already resolved serve a single ``end`` frame from the cache.
+``GET /metrics``
+    Prometheus text exposition (:mod:`repro.service.metrics`): request
+    counters, per-algorithm latency histograms, cache/queue/stream state.
 ``GET /healthz``
     Liveness: ``{"ok": true, "uptime_s": ...}``.
 ``GET /stats``
     Scheduler counters, cache hit rate and latency percentiles.
+
+With ``--log-json PATH|-`` every request additionally emits one JSON log
+line (see :mod:`repro.service.jsonlog`).
 """
 
 from __future__ import annotations
@@ -31,6 +50,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import queue as queue_module
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,12 +58,27 @@ from typing import Any, Sequence
 
 from repro.api.serialize import report_to_json
 from repro.service.cache import SolveCache, default_cache_path
+from repro.service.jsonlog import configure_json_logging, log_event
 from repro.service.scheduler import AdmissionError, SolveRequest, SolveScheduler
 
-__all__ = ["ServiceServer", "add_serve_arguments", "main", "serve"]
+__all__ = ["ServiceServer", "SolveTimeout", "add_serve_arguments", "main",
+           "serve"]
 
 #: How long one HTTP request waits for its solve before giving up (seconds).
 _REQUEST_TIMEOUT_S = 600.0
+
+#: SSE keep-alive comment cadence while a solve is quiet (seconds).
+_EVENTS_HEARTBEAT_S = 15.0
+
+
+class SolveTimeout(RuntimeError):
+    """A request outlived the server's request timeout (HTTP 504).
+
+    The job itself is *not* lost: the scheduler-side coroutine is
+    cancelled cleanly (recording a ``cancelled`` latency sample and
+    releasing its pending slot), while the shielded computation keeps
+    running and lands in the cache for ``/report/<key>`` pollers.
+    """
 
 
 class ServiceServer:
@@ -51,8 +86,12 @@ class ServiceServer:
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
                  scheduler: SolveScheduler | None = None,
-                 quiet: bool = True) -> None:
+                 quiet: bool = True,
+                 request_timeout_s: float = _REQUEST_TIMEOUT_S,
+                 events_heartbeat_s: float = _EVENTS_HEARTBEAT_S) -> None:
         self.scheduler = scheduler if scheduler is not None else SolveScheduler()
+        self.request_timeout_s = float(request_timeout_s)
+        self.events_heartbeat_s = float(events_heartbeat_s)
         self.started_at = time.monotonic()
         self._loop = asyncio.new_event_loop()
         self._loop_thread = threading.Thread(
@@ -107,12 +146,30 @@ class ServiceServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
-    def submit(self, request: SolveRequest,
-               timeout: float = _REQUEST_TIMEOUT_S):
-        """Run one request on the scheduler loop (thread-safe)."""
+    def submit(self, request: SolveRequest, timeout: float | None = None,
+               *, wait: bool = True):
+        """Run one request on the scheduler loop (thread-safe).
+
+        A timeout used to simply abandon the cross-thread future, leaking
+        the request coroutine (its pending-slot bookkeeping, its latency
+        sample) on the loop forever.  Now the future is *cancelled*:
+        cancellation propagates to the coroutine, which records the
+        ``cancelled`` outcome and unwinds cleanly -- only the shielded
+        job computation survives, on purpose -- and the caller gets
+        :class:`SolveTimeout` (HTTP 504).
+        """
+        timeout = self.request_timeout_s if timeout is None else timeout
         future = asyncio.run_coroutine_threadsafe(
-            self.scheduler.submit(request), self._loop)
-        return future.result(timeout=timeout)
+            self.scheduler.submit(request, wait=wait), self._loop)
+        try:
+            return future.result(timeout=timeout)
+        except TimeoutError:
+            future.cancel()
+            self._loop.call_soon_threadsafe(self.scheduler.record_timeout)
+            raise SolveTimeout(
+                f"request did not complete within {timeout:.1f}s; the solve "
+                f"continues in the background -- poll /report/<key>"
+            ) from None
 
     def stats_row(self) -> dict[str, Any]:
         row = self.scheduler.stats_row()
@@ -139,13 +196,54 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                 super().log_message(fmt, *args)
 
         # ----------------------------------------------------------- util
+        def _route(self) -> str:
+            """The path with identifiers stripped -- a bounded label set."""
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            for prefix in ("/report/", "/events/"):
+                if path.startswith(prefix):
+                    return prefix.rstrip("/")
+            return path
+
+        def _count_response(self, status: int) -> None:
+            metrics = service.scheduler.metrics
+            if metrics is not None:
+                metrics.http_requests.inc(self.command, self._route(),
+                                          str(status))
+
+        def _client_disconnected(self, error: OSError) -> None:
+            """The peer hung up mid-write: log it, never crash the thread.
+
+            ``BrokenPipeError`` here used to propagate into
+            ``BaseHTTPRequestHandler.handle``, spraying tracebacks on
+            stderr for something as mundane as a monitoring client with a
+            short timeout.
+            """
+            self.close_connection = True
+            metrics = service.scheduler.metrics
+            if metrics is not None:
+                metrics.client_disconnects.inc(self._route())
+            log_event("client_disconnected", route=self._route(),
+                      method=self.command,
+                      error=type(error).__name__)
+
+        def _send_body(self, status: int, body: bytes,
+                       content_type: str) -> bool:
+            """Send a complete response; ``False`` if the client vanished."""
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError) as error:
+                self._client_disconnected(error)
+                return False
+            self._count_response(status)
+            return True
+
         def _send_json(self, status: int, obj: dict[str, Any]) -> None:
             body = json.dumps(obj, sort_keys=True).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            self._send_body(status, body, "application/json")
 
         def _send_error_json(self, status: int, message: str) -> None:
             self._send_json(status, {"error": message})
@@ -161,18 +259,99 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                 })
             elif path == "/stats":
                 self._send_json(200, service.stats_row())
+            elif path == "/metrics":
+                metrics = service.scheduler.metrics
+                if metrics is None:
+                    self._send_error_json(
+                        404, "metrics are disabled on this server")
+                    return
+                self._send_body(200, metrics.render().encode("utf-8"),
+                                metrics.registry.content_type)
             elif path.startswith("/report/"):
                 key = path[len("/report/"):]
-                report = service.scheduler.cache.get(key)
+                # peek, not get: report polling must never count as cache
+                # traffic (hit_rate) nor promote the key in the LRU.
+                report, tier = service.scheduler.cache.peek(key)
                 if report is None:
                     self._send_error_json(404, f"unknown report key {key!r}")
                 else:
                     self._send_json(200, {
                         "key": key,
+                        "tier": tier,
                         "report": json.loads(report_to_json(report)),
                     })
+            elif path.startswith("/events/"):
+                self._stream_events(path[len("/events/"):])
             else:
                 self._send_error_json(404, f"unknown path {self.path!r}")
+
+        def _stream_events(self, key: str) -> None:
+            """``GET /events/<key>``: SSE frames until the terminal event.
+
+            The response is unframed (no Content-Length) so the
+            connection is marked ``close``; clients read until EOF.
+            """
+            channel = service.scheduler.events.get(key)
+            if channel is None:
+                # Never streamed (or archived out): an already-resolved
+                # key still gets a useful single-frame stream.
+                report, tier = service.scheduler.cache.peek(key)
+                if report is None:
+                    self._send_error_json(
+                        404,
+                        f"no event stream or report for key {key!r}")
+                    return
+                channel = None
+            metrics = service.scheduler.metrics
+            try:
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream")
+                self.send_header("Cache-Control", "no-cache")
+                self.send_header("Connection", "close")
+                self.close_connection = True
+                self.end_headers()
+            except (BrokenPipeError, ConnectionResetError) as error:
+                self._client_disconnected(error)
+                return
+            self._count_response(200)
+
+            def write_frame(payload: str) -> bool:
+                try:
+                    self.wfile.write(payload.encode("utf-8"))
+                    self.wfile.flush()
+                    return True
+                except (BrokenPipeError, ConnectionResetError) as error:
+                    self._client_disconnected(error)
+                    return False
+
+            if channel is None:
+                write_frame("data: " + json.dumps(
+                    {"event": "end", "key": key, "status": "cached",
+                     "tier": tier}, sort_keys=True) + "\n\n")
+                return
+            subscription = channel.subscribe()
+            if metrics is not None:
+                metrics.stream_subscribers.inc()
+            try:
+                while True:
+                    try:
+                        event = subscription.get(
+                            timeout=service.events_heartbeat_s)
+                    except queue_module.Empty:
+                        if not write_frame(": keep-alive\n\n"):
+                            return
+                        continue
+                    if event is None:  # END_OF_STREAM
+                        return
+                    frame = ("data: "
+                             + json.dumps(event, sort_keys=True, default=str)
+                             + "\n\n")
+                    if not write_frame(frame):
+                        return
+            finally:
+                channel.unsubscribe(subscription)
+                if metrics is not None:
+                    metrics.stream_subscribers.dec()
 
         def do_POST(self) -> None:  # noqa: N802 - http.server contract
             # Drain the body first, whatever the path: leaving unread bytes
@@ -190,14 +369,20 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                 return
             try:
                 obj = json.loads(body or b"{}")
+                if not isinstance(obj, dict):
+                    raise ValueError("request body must be a JSON object")
+                wait = bool(obj.pop("wait", True))
                 request = SolveRequest.from_obj(obj)
             except (ValueError, TypeError, json.JSONDecodeError) as error:
                 self._send_error_json(400, str(error))
                 return
             try:
-                response = service.submit(request)
+                response = service.submit(request, wait=wait)
             except AdmissionError as error:
                 self._send_error_json(429, str(error))
+                return
+            except SolveTimeout as error:
+                self._send_error_json(504, str(error))
                 return
             except (KeyError, TypeError, ValueError) as error:
                 # Unknown workload/algorithm or a bad typed config.
@@ -208,7 +393,8 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                 self._send_error_json(
                     500, f"{type(error).__name__}: {error}")
                 return
-            self._send_json(200, response.to_row())
+            self._send_json(202 if response.status == "accepted" else 200,
+                            response.to_row())
 
     return Handler
 
@@ -239,6 +425,16 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the persistent cache tier")
     parser.add_argument("--memory-entries", type=int, default=1024,
                         help="in-process LRU capacity (reports)")
+    parser.add_argument("--request-timeout", type=float,
+                        default=_REQUEST_TIMEOUT_S,
+                        help="seconds one HTTP request waits for its solve "
+                             "before answering 504 (the job keeps running)")
+    parser.add_argument("--log-json", default=None, metavar="PATH",
+                        help="append one JSON log line per request to PATH "
+                             "('-' for stdout)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable /metrics and all metric recording "
+                             "(the observability-overhead baseline)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
 
@@ -247,11 +443,18 @@ def serve(args: argparse.Namespace) -> int:
     cache = SolveCache(
         "" if args.no_persist else args.cache_path,
         max_memory_entries=args.memory_entries)
+    scheduler_kwargs: dict[str, Any] = {}
+    if getattr(args, "no_metrics", False):
+        scheduler_kwargs["metrics"] = None
     scheduler = SolveScheduler(cache=cache, shards=args.shards,
                                max_pending=args.max_pending,
-                               inline=args.inline_workers)
+                               inline=args.inline_workers,
+                               **scheduler_kwargs)
+    log_handler = configure_json_logging(getattr(args, "log_json", None))
     server = ServiceServer(host=args.host, port=args.port,
-                           scheduler=scheduler, quiet=not args.verbose)
+                           scheduler=scheduler, quiet=not args.verbose,
+                           request_timeout_s=getattr(
+                               args, "request_timeout", _REQUEST_TIMEOUT_S))
     host, port = server.address
     if args.port_file:
         with open(args.port_file, "w", encoding="utf-8") as handle:
@@ -259,13 +462,19 @@ def serve(args: argparse.Namespace) -> int:
     print(f"[repro.service] serving on http://{host}:{port} "
           f"(shards={scheduler.shards}, "
           f"workers={'inline' if scheduler.inline else 'process-pool'}, "
-          f"cache={cache.path or 'memory-only'})", flush=True)
+          f"cache={cache.path or 'memory-only'}, "
+          f"metrics={'off' if scheduler.metrics is None else 'on'})",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.stop()
+        if log_handler is not None:
+            from repro.service.jsonlog import service_logger
+
+            service_logger().removeHandler(log_handler)
     return 0
 
 

@@ -151,6 +151,49 @@ class TestPersistentTier:
         assert cache.solve(graph, "power-mis", k=2, seed=1).tier == "persistent"
 
 
+class TestPeek:
+    """``peek`` is the read-only lookup: no accounting, no promotion."""
+
+    def test_peek_counts_nothing(self, graph):
+        cache = SolveCache("")
+        solved = cache.solve(graph, "power-mis", k=2, seed=5)
+        hits, misses = cache.stats.hits, cache.stats.misses
+        for _ in range(7):
+            report, tier = cache.peek(solved.key)
+            assert report is not None and tier == "memory"
+        report, tier = cache.peek("0" * 32)
+        assert report is None and tier == "miss"
+        assert cache.stats.hits == hits
+        assert cache.stats.misses == misses
+
+    def test_peek_does_not_reorder_lru(self, graph):
+        cache = SolveCache("")
+        first = cache.solve(graph, "power-mis", k=2, seed=1)
+        second = cache.solve(graph, "power-mis", k=2, seed=2)
+        cache.peek(first.key)
+        assert list(cache._memory) == [first.key, second.key]
+        # ... while a real lookup does promote.
+        cache.get(first.key)
+        assert list(cache._memory) == [second.key, first.key]
+
+    def test_persistent_peek_does_not_promote(self, graph, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        solved = SolveCache(path).solve(graph, "power-mis", k=2, seed=5)
+        fresh = SolveCache(path)  # memory tier empty
+        report, tier = fresh.peek(solved.key)
+        assert report is not None and tier == "persistent"
+        assert solved.key not in fresh._memory  # still only on disk
+        assert fresh.stats.requests == 0
+
+    def test_peek_respects_certificate_requirement(self, graph):
+        cache = SolveCache("")
+        solved = cache.solve(graph, "power-mis", k=2, seed=5, verify=False)
+        report, tier = cache.peek(solved.key)
+        assert report is not None
+        report, tier = cache.peek(solved.key, require_certificate=True)
+        assert report is None and tier == "miss"
+
+
 class TestFingerprintMemo:
     def test_memoized_per_object(self, graph):
         invalidate_fingerprint(graph)

@@ -373,6 +373,66 @@ class TestShutdown:
         assert consumers == 0 and started is False
 
 
+class TestNoWaitSubmit:
+    def test_accepted_then_report_lands_in_cache(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                accepted = await scheduler.submit(REQUEST, wait=False)
+                assert accepted.status == "accepted"
+                assert accepted.report is None
+                assert accepted.key
+                # The job completes on its own; poll the cache.
+                for _ in range(200):
+                    report = scheduler.cache.peek(accepted.key)[0]
+                    if report is not None:
+                        return accepted, report
+                    await asyncio.sleep(0.05)
+                raise AssertionError("accepted job never landed in cache")
+            finally:
+                await scheduler.stop()
+
+        accepted, report = run_async(scenario())
+        assert report.certificate is not None
+
+    def test_accepted_row_has_no_report_field(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                accepted = await scheduler.submit(REQUEST, wait=False)
+                return accepted.to_row()
+            finally:
+                await scheduler.stop()
+
+        row = run_async(scenario())
+        assert row["status"] == "accepted"
+        assert "report" not in row
+        assert row["cached"] is False
+
+    def test_cache_hit_answers_immediately_despite_no_wait(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            try:
+                await scheduler.submit(REQUEST)
+                hit = await scheduler.submit(REQUEST, wait=False)
+                return hit
+            finally:
+                await scheduler.stop()
+
+        hit = run_async(scenario())
+        assert hit.status == "hit"
+        assert hit.report is not None
+        assert hit.tier == "memory"
+
+    def test_stream_field_parses(self):
+        request = SolveRequest.from_obj({
+            "workload": "er-n20", "algorithm": "luby-power",
+            "stream": True})
+        assert request.stream is True
+        assert SolveRequest.from_obj(
+            {"workload": "er-n20", "algorithm": "luby-power"}).stream is False
+
+
 class TestStats:
     def test_stats_row_shape(self):
         async def scenario():
