@@ -1,0 +1,539 @@
+"""Experiment FLEET-THROUGHPUT -- scale-out, warm affinity, chaos.
+
+Three phases against real ``repro fleet`` processes (the coordinator and
+every worker run as subprocesses of ``python -m repro``, exactly as an
+operator would deploy them):
+
+* **Cold scale-out** -- a mix of cold, cache-missing solves (distinct
+  ``(graph_seed, seed)`` per request, spread over several workloads) is
+  driven through a coordinator with **one** worker, then through a fresh
+  coordinator with **two** workers.  Affinity routing spreads distinct
+  graphs across the fleet, so two workers should approach twice the solve
+  throughput: the acceptance gate is a **geometric-mean speedup >=
+  {SCALE_OUT_TARGET}x**.  The gate needs real parallel hardware -- on a
+  single-core host (``os.cpu_count() < 2``) both fleets share one core
+  and the ratio is meaningless, so the result is reported but the gate is
+  not enforced.
+* **Warm affinity** -- the same zipf-skewed warm-cache workload is served
+  by a plain single ``repro serve`` process and by the fleet (coordinator
+  + 2 workers, caches warmed through the coordinator so affinity owns the
+  placement).  The fleet pays an extra network hop per request; consistent
+  hashing must keep it a *cache hit* hop.  Gate: fleet warm throughput
+  within {WARM_AFFINITY_LIMIT_PCT}% of the single server (same hardware
+  caveat).
+* **Chaos** (``--chaos``) -- a request stream runs against the 2-worker
+  fleet while one worker is SIGKILLed mid-run.  Gates (always enforced --
+  they are correctness, not speed): **zero lost requests** (every request
+  answers 200, failing over via idempotent replay), non-zero ``retried``
+  and ``stolen`` coordinator counters, the dead worker expiring from the
+  registry, and the post-kill recompute of a pre-kill request being
+  **bit-identical** to the original report.
+
+Results land in ``fleet_throughput.json`` under the results directory
+(`REPRO_RESULTS_DIR` honoured); CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Sequence
+
+from harness import ensure_results_dir
+from repro.analysis.tables import format_table
+from repro.service import ServiceClient, ServiceError
+
+EXPERIMENT_ID = "fleet_throughput"
+#: Cold solve throughput: 2 workers over 1 worker, geometric mean.
+SCALE_OUT_TARGET = 1.5
+#: Warm-cache serving: the fleet may cost at most this fraction versus a
+#: single ``repro serve`` process.
+WARM_AFFINITY_LIMIT = 0.20
+WARM_AFFINITY_LIMIT_PCT = int(WARM_AFFINITY_LIMIT * 100)
+
+__doc__ = __doc__.format(SCALE_OUT_TARGET=SCALE_OUT_TARGET,
+                         WARM_AFFINITY_LIMIT_PCT=WARM_AFFINITY_LIMIT_PCT)
+
+#: (workload cell, algorithm, config): cold entries are chosen so the
+#: solve dominates the HTTP plumbing (>= ~10ms each) -- scale-out of
+#: sub-millisecond requests would measure the coordinator, not the fleet.
+FULL_MIX: list[tuple[str, str, dict[str, Any]]] = [
+    ("regular-n128-d6", "det-power-ruling", {"k": 2}),
+    ("er-n48", "sparsify", {"k": 2}),
+    ("regular-n96-d8", "det-power-ruling", {"k": 2}),
+]
+SMOKE_MIX: list[tuple[str, str, dict[str, Any]]] = [
+    ("regular-n96-d8", "det-power-ruling", {"k": 2}),
+    ("er-n48", "sparsify", {"k": 2}),
+]
+
+_SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+# ------------------------------------------------------------ process fleet
+def _child_env() -> dict[str, str]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (_SRC_DIR + os.pathsep + existing) if existing \
+        else _SRC_DIR
+    return env
+
+
+class _Process:
+    """One ``python -m repro ...`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, role: str, argv: list[str], tmpdir: str) -> None:
+        self.role = role
+        self.port_file = os.path.join(tmpdir, f"{role}.port")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *argv,
+             "--port", "0", "--port-file", self.port_file],
+            env=_child_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        self.url = f"http://127.0.0.1:{self._read_port()}"
+
+    def _read_port(self, deadline_s: float = 30.0) -> int:
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"{self.role} exited with {self.proc.returncode} "
+                    f"before binding")
+            try:
+                with open(self.port_file, encoding="utf-8") as handle:
+                    text = handle.read().strip()
+                if text:
+                    return int(text)
+            except FileNotFoundError:
+                pass
+            time.sleep(0.05)
+        raise RuntimeError(f"{self.role} did not bind within {deadline_s}s")
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def sigkill(self) -> None:
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+class Fleet:
+    """A subprocess coordinator plus N subprocess workers."""
+
+    def __init__(self, worker_count: int, tmpdir: str, *,
+                 ttl_s: float = 5.0, batch_window_s: float = 0.0,
+                 label: str = "fleet") -> None:
+        self.coordinator = _Process(
+            f"{label}-coordinator",
+            ["fleet", "coordinator", "--ttl", str(ttl_s),
+             "--batch-window", str(batch_window_s)],
+            tmpdir)
+        self.worker_ids = [f"{label}-w{index}"
+                           for index in range(worker_count)]
+        self.workers = [
+            _Process(f"{label}-worker{index}",
+                     ["fleet", "worker",
+                      "--coordinator", self.coordinator.url,
+                      "--worker-id", self.worker_ids[index],
+                      "--no-persist", "--inline-workers", "--shards", "2"],
+                     tmpdir)
+            for index in range(worker_count)]
+        self.client = ServiceClient(self.coordinator.url, timeout=300)
+        self._await_enrollment(worker_count)
+
+    def _await_enrollment(self, expected: int,
+                          deadline_s: float = 30.0) -> None:
+        self.client.wait_healthy(deadline_s=deadline_s)
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            doc = self.client.request("GET", "/fleet/workers")
+            if len(doc["workers"]) >= expected:
+                return
+            time.sleep(0.1)
+        raise RuntimeError(
+            f"only {len(doc['workers'])}/{expected} workers enrolled "
+            f"within {deadline_s}s")
+
+    def stats(self) -> dict[str, Any]:
+        return self.client.request("GET", "/stats")
+
+    def stop(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+        self.coordinator.stop()
+
+
+# -------------------------------------------------------------- load loops
+def _closed_loop(client: ServiceClient,
+                 requests: Sequence[dict[str, Any]], *,
+                 concurrency: int) -> tuple[float, list[dict[str, Any]],
+                                            list[Exception]]:
+    """Drive ``requests`` from closed-loop threads; never raises.
+
+    Returns ``(elapsed_s, rows, errors)`` -- the chaos phase needs the
+    error list (its gate is that the list is empty), the throughput
+    phases assert on it.
+    """
+    rows: list[list[dict[str, Any]]] = [[] for _ in range(concurrency)]
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        for body in requests[index::concurrency]:
+            try:
+                rows[index].append(
+                    client.request("POST", "/solve", dict(body)))
+            except Exception as error:  # noqa: BLE001 - gated after join
+                errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(index,), daemon=True)
+               for index in range(concurrency)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return elapsed, [row for chunk in rows for row in chunk], errors
+
+
+def _request(cell: str, algorithm: str, config: dict[str, Any], *,
+             graph_seed: int, seed: int) -> dict[str, Any]:
+    return {"workload": cell, "algorithm": algorithm, "config": config,
+            "graph_seed": graph_seed, "seed": seed}
+
+
+def _cold_requests(entry: tuple[str, str, dict[str, Any]], *,
+                   graphs: int, seeds: int, salt: int) -> list[dict[str, Any]]:
+    """Distinct content addresses: every request is a guaranteed miss."""
+    cell, algorithm, config = entry
+    return [_request(cell, algorithm, config,
+                     graph_seed=1000 * salt + graph_index, seed=seed)
+            for graph_index in range(graphs) for seed in range(seeds)]
+
+
+def zipf_sequence(count: int, length: int, *, s: float,
+                  seed: int) -> list[int]:
+    import random
+
+    rng = random.Random(seed)
+    raw = [1.0 / (rank ** s) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return rng.choices(range(count), weights=[w / total for w in raw],
+                       k=length)
+
+
+# --------------------------------------------------------- phase: scale-out
+def measure_scale_out(mix: Sequence[tuple[str, str, dict[str, Any]]],
+                      tmpdir: str, *, graphs: int, seeds: int,
+                      concurrency: int) -> dict[str, Any]:
+    """Cold solve throughput: 1 worker vs 2 workers, fresh caches each."""
+    rates: dict[int, list[float]] = {1: [], 2: []}
+    for worker_count in (1, 2):
+        fleet = Fleet(worker_count, tmpdir, label=f"cold{worker_count}")
+        try:
+            for salt, entry in enumerate(mix):
+                requests = _cold_requests(entry, graphs=graphs,
+                                          seeds=seeds,
+                                          salt=salt + worker_count * 100)
+                elapsed, rows, errors = _closed_loop(
+                    fleet.client, requests, concurrency=concurrency)
+                if errors:
+                    raise errors[0]
+                assert all(row["status"] == "computed" for row in rows), \
+                    "cold-phase requests must all be computed"
+                rates[worker_count].append(
+                    len(rows) / elapsed if elapsed > 0 else float("inf"))
+        finally:
+            fleet.stop()
+
+    rows = []
+    ratios = []
+    for entry, one, two in zip(mix, rates[1], rates[2]):
+        cell, algorithm, config = entry
+        ratio = two / one if one > 0 else float("inf")
+        ratios.append(ratio)
+        rows.append({
+            "workload": cell,
+            "algorithm": algorithm,
+            "config": ",".join(f"{k}={v}"
+                               for k, v in sorted(config.items())),
+            "rps_1worker": round(one, 1),
+            "rps_2workers": round(two, 1),
+            "scale_out": round(ratio, 2),
+        })
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return {"rows": rows, "geomean_scale_out": round(geomean, 2),
+            "target": SCALE_OUT_TARGET}
+
+
+# ----------------------------------------------------- phase: warm affinity
+def measure_warm_affinity(mix: Sequence[tuple[str, str, dict[str, Any]]],
+                          tmpdir: str, *, graphs: int, requests_count: int,
+                          concurrency: int, zipf_s: float,
+                          seed: int) -> dict[str, Any]:
+    """Warm zipf serving: fleet (2 workers) vs a single ``repro serve``."""
+    vocabulary = [
+        _request(cell, algorithm, config, graph_seed=graph_index, seed=0)
+        for cell, algorithm, config in mix
+        for graph_index in range(graphs)]
+    sequence = zipf_sequence(len(vocabulary), requests_count, s=zipf_s,
+                             seed=seed)
+    workload = [vocabulary[index] for index in sequence]
+
+    def measure(client: ServiceClient) -> tuple[float, float]:
+        for body in vocabulary:  # warm every distinct address once
+            client.request("POST", "/solve", dict(body))
+        elapsed, rows, errors = _closed_loop(client, workload,
+                                             concurrency=concurrency)
+        if errors:
+            raise errors[0]
+        hits = sum(1 for row in rows
+                   if row["status"] in ("hit", "coalesced"))
+        return (len(rows) / elapsed if elapsed > 0 else float("inf"),
+                hits / len(rows))
+
+    single = _Process("serve",
+                      ["serve", "--no-persist", "--inline-workers",
+                       "--shards", "2"],
+                      tmpdir)
+    try:
+        client = ServiceClient(single.url, timeout=300)
+        client.wait_healthy(deadline_s=30)
+        serve_rps, serve_hit_rate = measure(client)
+    finally:
+        single.stop()
+
+    fleet = Fleet(2, tmpdir, label="warm")
+    try:
+        fleet_rps, fleet_hit_rate = measure(fleet.client)
+        stats = fleet.stats()
+    finally:
+        fleet.stop()
+
+    relative = fleet_rps / serve_rps if serve_rps > 0 else float("inf")
+    return {
+        "serve_rps": round(serve_rps, 1),
+        "fleet_rps": round(fleet_rps, 1),
+        "relative": round(relative, 3),
+        "serve_hit_rate": round(serve_hit_rate, 4),
+        "fleet_hit_rate": round(fleet_hit_rate, 4),
+        "affinity_hit_rate": stats["affinity_hit_rate"],
+        "limit": WARM_AFFINITY_LIMIT,
+        "requests": len(workload),
+    }
+
+
+# ------------------------------------------------------------ phase: chaos
+def measure_chaos(mix: Sequence[tuple[str, str, dict[str, Any]]],
+                  tmpdir: str, *, graphs: int, seeds: int,
+                  concurrency: int) -> dict[str, Any]:
+    """SIGKILL one worker mid-stream; the fleet must not lose a request."""
+    from repro.api import report_from_json, solve
+    from repro.scenarios.registry import DEFAULT_REGISTRY
+
+    fleet = Fleet(2, tmpdir, ttl_s=2.0, label="chaos")
+    try:
+        requests = []
+        for salt, entry in enumerate(mix):
+            requests.extend(_cold_requests(entry, graphs=graphs,
+                                           seeds=seeds, salt=500 + salt))
+        # Pre-kill reference rows: recomputed-after-failover bit-identity
+        # is asserted against these.
+        reference = [fleet.client.request("POST", "/solve",
+                                          dict(body))
+                     for body in requests[:2]]
+        victim_id = reference[0]["worker"]
+        victim = fleet.workers[fleet.worker_ids.index(victim_id)]
+
+        killed = threading.Event()
+
+        def assassin() -> None:
+            time.sleep(0.4)  # let the stream get going first
+            victim.sigkill()
+            killed.set()
+
+        killer = threading.Thread(target=assassin, daemon=True)
+        killer.start()
+        elapsed, rows, errors = _closed_loop(fleet.client, requests,
+                                             concurrency=concurrency)
+        killer.join()
+        assert killed.is_set()
+
+        # Replay the pre-kill references: the victim computed them, the
+        # survivor must now recompute them bit-identically.
+        replays = [fleet.client.request("POST", "/solve", dict(body))
+                   for body in requests[:2]]
+        for original, replay in zip(reference, replays):
+            assert replay["key"] == original["key"]
+            assert replay["report"] == original["report"], \
+                "failover recompute diverged from the original report"
+        assert replays[0]["worker"] != victim_id
+
+        # ... and against a direct in-process solve (end-to-end identity).
+        body = requests[0]
+        graph = DEFAULT_REGISTRY.build_cell(body["workload"],
+                                            seed=body["graph_seed"])
+        fresh = solve(graph, body["algorithm"], seed=body["seed"],
+                      **body["config"])
+        served = report_from_json(replays[0]["report"])
+        assert served.output == fresh.output
+        assert served.rounds == fresh.rounds
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            live = {row["worker_id"] for row in
+                    fleet.client.request("GET", "/fleet/workers")["workers"]}
+            if victim_id not in live:
+                break
+            time.sleep(0.2)
+        stats = fleet.stats()
+        counters = stats["counters"]
+        return {
+            "requests": len(requests) + 4,
+            "lost": len(errors),
+            "errors": [f"{type(error).__name__}: {error}"
+                       for error in errors[:5]],
+            "retried": counters["retried"],
+            "stolen": counters["stolen"],
+            "failed": counters["failed"],
+            "victim": victim_id,
+            "victim_expired": victim_id not in live,
+            "bit_identical_replay": True,
+            "ok": (not errors and counters["retried"] > 0
+                   and counters["stolen"] > 0 and victim_id not in live),
+        }
+    finally:
+        fleet.stop()
+
+
+# ---------------------------------------------------------------- experiment
+def experiment_fleet_throughput(*, smoke: bool = False, chaos: bool = False,
+                                concurrency: int = 8, zipf_s: float = 1.1,
+                                seed: int = 7) -> dict[str, Any]:
+    mix = SMOKE_MIX if smoke else FULL_MIX
+    graphs = 4 if smoke else 6
+    cold_seeds = 3 if smoke else 4
+    warm_requests = 150 if smoke else 800
+    multicore = (os.cpu_count() or 1) >= 2
+
+    result: dict[str, Any] = {
+        "smoke": smoke,
+        "concurrency": concurrency,
+        "cpu_count": os.cpu_count(),
+        "gates_enforced": multicore,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmpdir:
+        result["scale_out"] = measure_scale_out(
+            mix, tmpdir, graphs=graphs, seeds=cold_seeds,
+            concurrency=concurrency)
+        result["warm_affinity"] = measure_warm_affinity(
+            mix, tmpdir, graphs=graphs, requests_count=warm_requests,
+            concurrency=concurrency, zipf_s=zipf_s, seed=seed)
+        if chaos:
+            result["chaos"] = measure_chaos(
+                mix, tmpdir, graphs=max(2, graphs // 2), seeds=cold_seeds,
+                concurrency=concurrency)
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scale-out, warm-affinity and chaos gates for the "
+                    "repro.fleet stack.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI sizes (the gates still apply)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="additionally run the SIGKILL containment "
+                             "phase")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client threads (default: 8)")
+    parser.add_argument("--zipf-s", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: "
+                             "<results>/fleet_throughput.json)")
+    args = parser.parse_args(argv)
+    if os.environ.get("SMOKE") == "1":
+        args.smoke = True
+
+    result = experiment_fleet_throughput(
+        smoke=args.smoke, chaos=args.chaos, concurrency=args.concurrency,
+        zipf_s=args.zipf_s, seed=args.seed)
+
+    title = f"[{EXPERIMENT_ID}{'/smoke' if args.smoke else ''}]"
+    print()
+    print(format_table(result["scale_out"]["rows"], title=title))
+    scale = result["scale_out"]["geomean_scale_out"]
+    warm = result["warm_affinity"]
+    print(f"cold scale-out (2 workers / 1 worker): geomean {scale:.2f}x "
+          f"(target >= {SCALE_OUT_TARGET}x)")
+    print(f"warm affinity: fleet {warm['fleet_rps']} req/s vs single "
+          f"serve {warm['serve_rps']} req/s ({warm['relative']:.2f}x, "
+          f"floor {1 - WARM_AFFINITY_LIMIT:.2f}x); fleet hit-rate "
+          f"{warm['fleet_hit_rate']:.2%}, affinity hit-rate "
+          f"{warm['affinity_hit_rate']:.2%}")
+    if "chaos" in result:
+        chaos = result["chaos"]
+        print(f"chaos: {chaos['requests']} requests, {chaos['lost']} lost, "
+              f"retried {chaos['retried']}, stolen {chaos['stolen']}, "
+              f"victim {chaos['victim']} expired="
+              f"{chaos['victim_expired']}, bit-identical replay: "
+              f"{chaos['bit_identical_replay']}")
+
+    output = args.output
+    if output is None:
+        output = os.path.join(ensure_results_dir(), f"{EXPERIMENT_ID}.json")
+    else:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    print(f"results written to {output}")
+
+    failed = False
+    if result["gates_enforced"]:
+        if scale < SCALE_OUT_TARGET:
+            print(f"FAIL: cold scale-out geomean {scale:.2f}x < "
+                  f"{SCALE_OUT_TARGET}x", file=sys.stderr)
+            failed = True
+        if warm["relative"] < 1.0 - WARM_AFFINITY_LIMIT:
+            print(f"FAIL: warm fleet throughput {warm['relative']:.2f}x of "
+                  f"single serve (floor "
+                  f"{1 - WARM_AFFINITY_LIMIT:.2f}x)", file=sys.stderr)
+            failed = True
+    else:
+        print(f"NOTE: single-core host (cpu_count="
+              f"{result['cpu_count']}): scale-out and warm-affinity "
+              f"gates reported but not enforced")
+    if "chaos" in result and not result["chaos"]["ok"]:
+        print(f"FAIL: chaos gate: {json.dumps(result['chaos'])}",
+              file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

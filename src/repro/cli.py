@@ -13,6 +13,9 @@ One command wraps the library's two operational surfaces:
 ``repro serve``
     Serve ``repro.solve`` over JSON/HTTP with the content-addressed cache
     (see :mod:`repro.service.server`).
+``repro fleet <coordinator|worker|status>``
+    Distributed solve fleet: the affinity-routing front door, enrollable
+    workers, and a status snapshot (see :mod:`repro.fleet.cli`).
 ``repro --version``
     Print the library version.
 """
@@ -32,6 +35,8 @@ commands:
   scenarios <list|families|run|compact>
                                  scenario sweeps (repro scenarios run --smoke)
   serve                          JSON/HTTP solve service (repro serve --help)
+  fleet <coordinator|worker|status>
+                                 distributed solve fleet (repro fleet --help)
   --version                      print the library version
 """
 
@@ -55,6 +60,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.service.server import main as serve_main
 
         return serve_main(rest)
+    if command == "fleet":
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(rest)
     if command in ("solve", "algorithms"):
         from repro.api.cli import main as api_main
 

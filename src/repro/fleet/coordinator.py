@@ -1,0 +1,928 @@
+"""The fleet front door: plan, route by affinity, fan out, contain failures.
+
+``repro fleet coordinator`` is an asyncio service in front of N enrolled
+solve workers (each one a full ``repro serve`` node).  Its pipeline per
+``POST /solve``:
+
+1. **Plan** -- resolve the request to its content address with the same
+   machinery the single-box scheduler uses (``SolverRegistry.plan`` ->
+   ``solve_key``), memoized per request shape so the warm path never
+   rebuilds or re-fingerprints a graph.
+2. **Route by affinity** -- consistent hashing over the *graph
+   fingerprint* (not the full key): every solve on the same graph lands on
+   the same worker, so that worker's warm ``SolveCache`` entries, memoized
+   fingerprints and built topology snapshots get reused.  Worker
+   enroll/expiry only remaps the fingerprints that hashed to the changed
+   worker -- the rest of the fleet keeps its warm state.
+3. **Contain failures** -- a transport failure (connection refused/reset,
+   timeout, HTTP 5xx counted by the breaker) retries the request on the
+   next live worker along the ring; repeated failures open the worker's
+   circuit so a dead node costs one timeout, not one per request.  Content
+   addressing makes the retry idempotent: the re-sent solve either hits a
+   cache or recomputes the bit-identical report.
+4. **Steal from the deepest queue** -- when the affinity primary is
+   markedly deeper (in-flight requests) than the shallowest live worker,
+   or when it is dead/circuit-open, the request is dispatched to the
+   least-loaded worker instead and counted as ``stolen``.
+5. **Scatter** (``"scatter": true``) -- speculative fan-out to *every*
+   live worker with per-worker timeouts, collected into a ``(discovered,
+   failures)`` pair and resolved MAAS-style by
+   :func:`~repro.fleet.transport.get_best_discovered_result`: any success
+   wins (results are bit-identical by construction), otherwise the most
+   informative failure is raised.
+6. **Group batchable requests** -- with ``--batch-window`` set, requests
+   sharing a ``(workload, algorithm, config, graph_seed)`` shape but
+   carrying different explicit seeds that arrive within the window are
+   forwarded to one worker as a single ``POST /solve_batch`` (the
+   batched-replica runner sweeps them as one array program); counters
+   record grouped-vs-solo dispatch.
+
+Endpoints: ``POST /solve`` (plus coordinator-only ``"scatter"`` flag),
+``POST /fleet/enroll|heartbeat|leave``, ``GET /fleet/workers``,
+``GET /report/<key>`` (scatter lookup across the fleet), ``GET /healthz``,
+``GET /stats`` (dispatch counters, affinity hit rate, worker table) and
+``GET /metrics`` (``repro_fleet_*`` families).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+import time
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Sequence
+
+from repro.hashing.seeds import derive_seed
+from repro.service.client import ServiceError
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import SolveRequest, resolve_workload
+from repro.fleet.registry import DEFAULT_TTL_S, WorkerInfo, WorkerRegistry
+from repro.fleet.transport import (
+    NoLiveWorkersError,
+    TransportError,
+    WorkerLink,
+    get_best_discovered_result,
+)
+
+__all__ = ["FleetCoordinator", "HashRing", "add_coordinator_arguments",
+           "serve_coordinator"]
+
+#: How long one client request may wait end-to-end at the coordinator.
+_REQUEST_TIMEOUT_S = 600.0
+
+#: ``SolveScheduler``-style sentinel: build a private metrics registry.
+_AUTO_METRICS = object()
+
+
+def _annotate_payload(payload: bytes, worker_id: str,
+                      attempts: int) -> bytes:
+    """Splice ``worker``/``attempts`` into JSON object bytes, no parse.
+
+    The solo dispatch path relays the worker's response verbatim; paying
+    a full parse + re-serialize of every report just to add two small
+    fields would make the coordinator the fleet's throughput ceiling.
+    """
+    extra = json.dumps({"worker": worker_id, "attempts": attempts})[1:-1]
+    stripped = payload.lstrip()
+    if not stripped.startswith(b"{"):
+        return payload  # not an object; relay untouched
+    rest = stripped[1:].lstrip()
+    if rest.startswith(b"}"):
+        return b"{" + extra.encode("utf-8") + rest
+    return b"{" + extra.encode("utf-8") + b"," + stripped[1:]
+
+
+class HashRing:
+    """Consistent hashing of fingerprints onto worker ids.
+
+    Each worker owns ``replicas`` virtual nodes positioned by a stable
+    hash (:func:`derive_seed`, so placement agrees across processes and
+    runs); a key routes to the first virtual node clockwise from its own
+    position.  :meth:`preference` returns the full failover order -- the
+    distinct workers in ring order starting at the primary -- which is
+    what makes retry-on-another-worker deterministic too.
+    """
+
+    def __init__(self, worker_ids: Sequence[str] = (), *,
+                 replicas: int = 64) -> None:
+        self.replicas = max(1, int(replicas))
+        self._ids: frozenset[str] = frozenset()
+        self._ring: list[tuple[int, str]] = []
+        self.rebuild(worker_ids)
+
+    def rebuild(self, worker_ids: Sequence[str]) -> None:
+        ids = frozenset(worker_ids)
+        ring = sorted(
+            (derive_seed("repro.fleet.ring", worker_id, replica, bits=64),
+             worker_id)
+            for worker_id in ids
+            for replica in range(self.replicas))
+        # Atomic swaps: concurrent preference() readers see either the
+        # old or the new membership, never a torn one.
+        self._ring = ring
+        self._ids = ids
+
+    @property
+    def worker_ids(self) -> frozenset[str]:
+        return self._ids
+
+    def preference(self, key: str) -> list[str]:
+        """Distinct worker ids in ring order from ``key``'s position."""
+        # Snapshot both references: lookups run on HTTP handler threads
+        # while rebuild() swaps in a new membership.
+        ring, ids = self._ring, self._ids
+        if not ring:
+            return []
+        position = derive_seed("repro.fleet.key", key, bits=64)
+        start = bisect_right(ring, (position, "￿"))
+        order: list[str] = []
+        seen: set[str] = set()
+        for index in range(len(ring)):
+            _, worker_id = ring[(start + index) % len(ring)]
+            if worker_id not in seen:
+                seen.add(worker_id)
+                order.append(worker_id)
+                if len(order) >= len(ids):
+                    break
+        return order
+
+    def route(self, key: str) -> str | None:
+        order = self.preference(key)
+        return order[0] if order else None
+
+
+@dataclass
+class _Group:
+    """One open batch-grouping window (same shape, different seeds)."""
+
+    shape: tuple
+    fingerprint: str
+    template: dict[str, Any]
+    members: "list[tuple[int, str, asyncio.Future]]" = field(
+        default_factory=list)
+    closed: bool = False
+
+
+class FleetCoordinator:
+    """Registry + ring + transport links behind one HTTP front door."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 ttl_s: float = DEFAULT_TTL_S,
+                 worker_timeout_s: float = 120.0,
+                 worker_retries: int = 1,
+                 max_worker_attempts: int = 3,
+                 spill_threshold: int = 4,
+                 batch_window_s: float = 0.0,
+                 ring_replicas: int = 64,
+                 request_timeout_s: float = _REQUEST_TIMEOUT_S,
+                 circuit_failure_threshold: int = 3,
+                 circuit_reset_after_s: float = 5.0,
+                 plan_memo_entries: int = 4096,
+                 metrics: ServiceMetrics | None | object = _AUTO_METRICS,
+                 quiet: bool = True) -> None:
+        self.registry = WorkerRegistry(ttl_s=ttl_s)
+        self.ring = HashRing(replicas=ring_replicas)
+        self.worker_timeout_s = float(worker_timeout_s)
+        self.worker_retries = max(0, int(worker_retries))
+        self.max_worker_attempts = max(1, int(max_worker_attempts))
+        self.spill_threshold = max(0, int(spill_threshold))
+        self.batch_window_s = max(0.0, float(batch_window_s))
+        self.request_timeout_s = float(request_timeout_s)
+        self.circuit_failure_threshold = int(circuit_failure_threshold)
+        self.circuit_reset_after_s = float(circuit_reset_after_s)
+        self.started_at = time.monotonic()
+        #: Dispatch accounting; guarded by ``_state_lock`` (the solo
+        #: relay path runs on HTTP handler threads, the fan-out paths on
+        #: the asyncio loop).
+        self.counters: dict[str, int] = {
+            "routed": 0, "affinity_hits": 0, "retried": 0, "stolen": 0,
+            "scattered": 0, "batched": 0, "batch_calls": 0, "solo": 0,
+            "failed": 0, "reports": 0,
+        }
+        #: In-flight requests per worker (the live load signal stealing
+        #: decisions read; heartbeat queue depths are the stale backstop).
+        self.outstanding: dict[str, int] = {}
+        self._state_lock = threading.Lock()
+        self._links: dict[str, WorkerLink] = {}
+        self._links_lock = threading.Lock()
+        self._groups: dict[tuple, _Group] = {}
+        #: ``request shape -> (cell, key, fingerprint)``; planning builds
+        #: and fingerprints graphs, far too slow to repeat per warm hit.
+        self._plan_memo: dict[tuple, tuple[str, str, str]] = {}
+        self._plan_memo_order: deque[tuple] = deque()
+        self._plan_memo_entries = max(16, int(plan_memo_entries))
+        self._plan_lock = threading.Lock()
+        if metrics is _AUTO_METRICS:
+            metrics = ServiceMetrics()
+        self.metrics: ServiceMetrics | None = metrics  # type: ignore[assignment]
+        if self.metrics is not None:
+            self.metrics.bind_fleet(self)
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="repro-fleet-loop", daemon=True)
+        self._sweep_task: asyncio.Task | None = None
+        handler = _make_handler(self, quiet=quiet)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------ lifecycle
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _start_tasks(self) -> None:
+        self._sweep_task = asyncio.create_task(self._sweep(),
+                                               name="fleet-sweep")
+
+    def start(self) -> None:
+        self._loop_thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self._start_tasks(), self._loop).result(timeout=30)
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-fleet-http",
+            daemon=True)
+        self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        self._loop_thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self._start_tasks(), self._loop).result(timeout=30)
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._sweep_task is not None:
+            self._loop.call_soon_threadsafe(self._sweep_task.cancel)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(timeout=10)
+
+    def __enter__(self) -> "FleetCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    async def _sweep(self) -> None:
+        """Expire stale leases and retire their transport links."""
+        interval = max(0.05, self.registry.ttl_s / 2.0)
+        while True:
+            await asyncio.sleep(interval)
+            for info in self.registry.expire():
+                self._drop_link(info.worker_id)
+
+    # -------------------------------------------------------------- address
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------- registry
+    def enroll(self, worker_id: str, url: str,
+               capabilities: Mapping[str, Any] | None = None,
+               ) -> dict[str, Any]:
+        lease = self.registry.enroll(worker_id, url, capabilities)
+        self._drop_link(worker_id)  # a re-enroll may have moved the URL
+        return lease
+
+    def _link(self, info: WorkerInfo) -> WorkerLink:
+        with self._links_lock:
+            link = self._links.get(info.worker_id)
+            if link is None or link.url != info.url:
+                link = WorkerLink(
+                    info.worker_id, info.url,
+                    timeout_s=self.worker_timeout_s,
+                    retries=self.worker_retries,
+                    failure_threshold=self.circuit_failure_threshold,
+                    reset_after_s=self.circuit_reset_after_s)
+                self._links[info.worker_id] = link
+            return link
+
+    def _drop_link(self, worker_id: str) -> None:
+        with self._links_lock:
+            link = self._links.pop(worker_id, None)
+        if link is not None:
+            link.close()
+        with self._state_lock:
+            self.outstanding.pop(worker_id, None)
+
+    def _breaker_state(self, worker_id: str) -> str:
+        with self._links_lock:
+            link = self._links.get(worker_id)
+        return link.breaker.state if link is not None else "closed"
+
+    # ------------------------------------------------------------- planning
+    def _plan(self, request: SolveRequest) -> tuple[str, str, str]:
+        """``(cell, solve_key, graph_fingerprint)`` for one request.
+
+        Memoized on the full request identity -- ``seed=None`` derives
+        deterministically from the shape, so it memoizes soundly too.
+        """
+        from repro.api import REGISTRY
+        from repro.service.cache import key_for_plan
+        from repro.service.scheduler import build_workload
+
+        memo_key = (request.workload, request.algorithm, request.config,
+                    request.graph_seed, request.seed)
+        with self._plan_lock:
+            cached = self._plan_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        cell = resolve_workload(request.workload)
+        graph = build_workload(cell, graph_seed=request.graph_seed)
+        plan = REGISTRY.plan(graph, request.algorithm, seed=request.seed,
+                             **request.config_dict)
+        value = (cell, key_for_plan(plan), plan.graph_fingerprint)
+        with self._plan_lock:
+            self._plan_memo[memo_key] = value
+            self._plan_memo_order.append(memo_key)
+            while len(self._plan_memo_order) > self._plan_memo_entries:
+                evicted = self._plan_memo_order.popleft()
+                self._plan_memo.pop(evicted, None)
+        return value
+
+    # ------------------------------------------------------------- dispatch
+    def solve(self, obj: dict[str, Any]):
+        """Serve one ``POST /solve`` body (called on HTTP handler threads).
+
+        The solo relay path -- plan (memoized), pick, forward, splice --
+        runs right here on the calling thread: no loop hand-off and no
+        executor hop, so a warm fleet hit costs one extra HTTP leg and
+        little else.  The fan-out paths (scatter, batch grouping) bridge
+        onto the asyncio loop, which owns their timers and gathers.
+
+        Returns a response dict (scatter / grouped paths) or raw JSON
+        bytes (the solo relay); the HTTP layer sends both.
+        """
+        scatter = bool(obj.pop("scatter", False))
+        wait = bool(obj.pop("wait", True))
+        request = SolveRequest.from_obj(obj)
+        body = dict(obj)
+        body["wait"] = wait
+        cell, key, fingerprint = self._plan(request)
+        if scatter:
+            return self._run_on_loop(self._scatter_solve(body, key))
+        if (self.batch_window_s > 0.0 and wait
+                and request.seed is not None):
+            return self._run_on_loop(
+                self._submit_grouped(request, body, cell, key, fingerprint))
+        self._bump("solo")
+        return self._solo_dispatch(body, key, fingerprint)
+
+    def report(self, key: str) -> dict[str, Any]:
+        """``GET /report/<key>`` resolved across the whole fleet."""
+        return self._run_on_loop(self.scatter_report(key))
+
+    def _run_on_loop(self, coroutine):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        try:
+            return future.result(timeout=self.request_timeout_s)
+        except TimeoutError:
+            future.cancel()
+            raise
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._state_lock:
+            self.counters[name] += amount
+
+    def _pick_worker(self, fingerprint: str,
+                     exclude: "set[str]") -> tuple[WorkerInfo | None, bool]:
+        """``(worker, is_primary)`` for one attempt; ``(None, False)`` when
+        every live worker is excluded.
+
+        Ring order from the fingerprint gives the deterministic failover
+        sequence; open circuits are skipped while an alternative exists;
+        and when the chosen worker is carrying ``spill_threshold`` more
+        in-flight requests than the least-loaded candidate, the request is
+        stolen by the shallower queue.
+        """
+        live = self.registry.live()
+        if not live:
+            raise NoLiveWorkersError(
+                "no live workers enrolled (fleet is empty or every lease "
+                "expired)")
+        by_id = {info.worker_id: info for info in live}
+        if self.ring.worker_ids != frozenset(by_id):
+            self.ring.rebuild(sorted(by_id))
+        order = self.ring.preference(fingerprint)
+        primary_id = order[0]
+        candidates = [wid for wid in order if wid not in exclude]
+        if not candidates:
+            return None, False
+        usable = [wid for wid in candidates
+                  if self._breaker_state(wid) != "open"] or candidates
+        choice = usable[0]
+        if len(usable) > 1 and self.spill_threshold >= 0:
+            with self._state_lock:
+                depths = {wid: self.outstanding.get(wid, 0)
+                          for wid in usable}
+            least = min(usable, key=lambda wid: (depths[wid], wid))
+            depth_gap = depths[choice] - depths[least]
+            if least != choice and depth_gap > self.spill_threshold:
+                choice = least
+        if choice != primary_id:
+            self._bump("stolen")
+        return by_id[choice], choice == primary_id
+
+    def _call_worker_sync(self, info: WorkerInfo, method: str, path: str,
+                          body: Mapping[str, Any] | None, *,
+                          raw: bool = False):
+        """One RPC on a worker link with outstanding accounting.
+
+        ``raw=True`` returns the response bytes unparsed (the relay hot
+        path); errors behave identically either way.  Blocking: called
+        directly from handler threads, or via executor from coroutines.
+        """
+        link = self._link(info)
+        transport = link.request_bytes if raw else link.request
+        with self._state_lock:
+            self.outstanding[info.worker_id] = (
+                self.outstanding.get(info.worker_id, 0) + 1)
+        try:
+            return transport(method, path, body)
+        finally:
+            with self._state_lock:
+                count = self.outstanding.get(info.worker_id, 1) - 1
+                if count <= 0:
+                    self.outstanding.pop(info.worker_id, None)
+                else:
+                    self.outstanding[info.worker_id] = count
+
+    async def _call_worker(self, info: WorkerInfo, method: str, path: str,
+                           body: Mapping[str, Any] | None, *,
+                           raw: bool = False):
+        """:meth:`_call_worker_sync` bridged onto the executor pool (for
+        the fan-out coroutines, which must not block the loop)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self._call_worker_sync(info, method, path, body,
+                                                 raw=raw))
+
+    def _solo_dispatch(self, body: dict[str, Any], key: str,
+                       fingerprint: str) -> bytes:
+        """Affinity-routed relay with retry-on-another-worker (blocking)."""
+        failures: dict[str, Exception] = {}
+        for _ in range(self.max_worker_attempts):
+            info, is_primary = self._pick_worker(fingerprint,
+                                                 set(failures))
+            if info is None:
+                break
+            try:
+                payload = self._call_worker_sync(info, "POST", "/solve",
+                                                 body, raw=True)
+            except ServiceError as error:
+                if error.status == 429:
+                    # That worker is saturated; the request is fine --
+                    # spill it to the next one.
+                    failures[info.worker_id] = error
+                    self._bump("retried")
+                    continue
+                # 4xx/5xx are about the request/solve, identical on every
+                # worker: propagate instead of burning the fleet.
+                raise
+            except TransportError as error:
+                failures[info.worker_id] = error
+                self._bump("retried")
+                continue
+            self._bump("routed")
+            if is_primary:
+                self._bump("affinity_hits")
+            return _annotate_payload(payload, info.worker_id,
+                                     len(failures) + 1)
+        self._bump("failed")
+        return get_best_discovered_result({}, failures)  # raises
+
+    async def _dispatch_solo(self, body: dict[str, Any], key: str,
+                             fingerprint: str) -> bytes:
+        """:meth:`_solo_dispatch` on the executor (batch-fallback path)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._solo_dispatch, body, key, fingerprint)
+
+    async def _scatter_solve(self, body: dict[str, Any],
+                             key: str) -> dict[str, Any]:
+        """Speculative fan-out to every live worker; best result wins."""
+        live = self.registry.live()
+        if not live:
+            raise NoLiveWorkersError("no live workers to scatter to")
+        self._bump("scattered")
+        results = await asyncio.gather(
+            *(self._call_worker(info, "POST", "/solve", dict(body))
+              for info in live),
+            return_exceptions=True)
+        discovered: dict[str, dict[str, Any]] = {}
+        failures: dict[str, Exception] = {}
+        for info, result in zip(live, results):
+            if isinstance(result, BaseException):
+                failures[info.worker_id] = result  # type: ignore[assignment]
+            else:
+                discovered[info.worker_id] = result
+        try:
+            row = dict(get_best_discovered_result(discovered, failures))
+        except Exception:
+            self._bump("failed")
+            raise
+        self._bump("routed")
+        row["worker"] = next(iter(discovered))
+        row["scatter"] = {
+            "discovered": sorted(discovered),
+            "failures": {worker_id: f"{type(error).__name__}: {error}"
+                         for worker_id, error in failures.items()},
+        }
+        return row
+
+    # ------------------------------------------------------- batch grouping
+    async def _submit_grouped(self, request: SolveRequest,
+                              body: dict[str, Any], cell: str, key: str,
+                              fingerprint: str) -> dict[str, Any]:
+        """Join (or open) the grouping window for this request's shape."""
+        shape = (cell, request.algorithm, request.config,
+                 request.graph_seed, request.verify)
+        loop = asyncio.get_running_loop()
+        group = self._groups.get(shape)
+        if group is None or group.closed:
+            group = _Group(shape=shape, fingerprint=fingerprint,
+                           template=dict(body))
+            self._groups[shape] = group
+            loop.create_task(self._flush_group(group))
+        future: asyncio.Future = loop.create_future()
+        group.members.append((int(request.seed), key, future))  # type: ignore[arg-type]
+        return await future
+
+    async def _flush_group(self, group: _Group) -> None:
+        """Close the window, dispatch the group, settle every member."""
+        try:
+            await asyncio.sleep(self.batch_window_s)
+        finally:
+            group.closed = True
+            if self._groups.get(group.shape) is group:
+                del self._groups[group.shape]
+        members = group.members
+        try:
+            if len(members) == 1:
+                await self._settle_solo(group, members[0])
+                return
+            await self._settle_batch(group, members)
+        except Exception as error:  # noqa: BLE001 - fan the failure out
+            for _, _, future in members:
+                if not future.done():
+                    future.set_exception(error)
+
+    async def _settle_solo(self, group: _Group,
+                           member: tuple[int, str, asyncio.Future]) -> None:
+        seed, key, future = member
+        self._bump("solo")
+        body = dict(group.template)
+        body["seed"] = seed
+        try:
+            row = await self._dispatch_solo(body, key, group.fingerprint)
+        except Exception as error:  # noqa: BLE001 - settle, don't crash
+            if not future.done():
+                future.set_exception(error)
+            return
+        if not future.done():
+            future.set_result(row)
+
+    async def _settle_batch(self, group: _Group,
+                            members: "list[tuple[int, str, asyncio.Future]]",
+                            ) -> None:
+        """One ``POST /solve_batch`` for the whole group, with failover."""
+        seeds: list[int] = []
+        for seed, _, _ in members:
+            if seed not in seeds:
+                seeds.append(seed)
+        template = group.template
+        batch_body = {
+            "workload": template["workload"],
+            "algorithm": template["algorithm"],
+            "config": template.get("config") or {},
+            "graph_seed": template.get("graph_seed", 0),
+            "verify": template.get("verify", True),
+            "seeds": seeds,
+        }
+        failures: dict[str, Exception] = {}
+        response: dict[str, Any] | None = None
+        chosen: WorkerInfo | None = None
+        for _ in range(self.max_worker_attempts):
+            info, is_primary = self._pick_worker(group.fingerprint,
+                                                 set(failures))
+            if info is None:
+                break
+            if not info.supports_batch():
+                failures[info.worker_id] = ServiceError(
+                    404, f"worker {info.worker_id!r} does not accept "
+                         f"/solve_batch groups")
+                continue
+            try:
+                response = await self._call_worker(info, "POST",
+                                                   "/solve_batch",
+                                                   batch_body)
+            except ServiceError as error:
+                if error.status in (404, 429):
+                    failures[info.worker_id] = error
+                    self._bump("retried")
+                    continue
+                raise
+            except TransportError as error:
+                failures[info.worker_id] = error
+                self._bump("retried")
+                continue
+            chosen = info
+            if is_primary:
+                self._bump("affinity_hits", len(members))
+            break
+        if response is None or chosen is None:
+            # No batch-capable worker reachable: fall back to solo
+            # dispatch per member (each with its own failover).
+            for member in members:
+                await self._settle_solo(group, member)
+            return
+        rows = response.get("rows")
+        if not isinstance(rows, list) or len(rows) != len(seeds):
+            raise TransportError(
+                chosen.worker_id,
+                f"solve_batch returned {type(rows).__name__} "
+                f"({len(rows) if isinstance(rows, list) else '?'} rows) "
+                f"for {len(seeds)} seeds")
+        by_seed = dict(zip(seeds, rows))
+        self._bump("batched", len(members))
+        self._bump("batch_calls")
+        self._bump("routed", len(members))
+        for seed, _, future in members:
+            row = dict(by_seed[seed])
+            row["worker"] = chosen.worker_id
+            row["grouped"] = len(members)
+            if not future.done():
+                future.set_result(row)
+
+    # --------------------------------------------------------------- report
+    async def scatter_report(self, key: str) -> dict[str, Any]:
+        """``GET /report/<key>`` resolved across the whole fleet."""
+        live = self.registry.live()
+        if not live:
+            raise NoLiveWorkersError("no live workers to query")
+        results = await asyncio.gather(
+            *(self._call_worker(info, "GET", f"/report/{key}", None)
+              for info in live),
+            return_exceptions=True)
+        discovered: dict[str, dict[str, Any]] = {}
+        failures: dict[str, Exception] = {}
+        for info, result in zip(live, results):
+            if isinstance(result, BaseException):
+                failures[info.worker_id] = result  # type: ignore[assignment]
+            else:
+                discovered[info.worker_id] = result
+        row = dict(get_best_discovered_result(discovered, failures))
+        self._bump("reports")
+        row["worker"] = next(iter(discovered))
+        return row
+
+    # ---------------------------------------------------------------- stats
+    def stats_row(self) -> dict[str, Any]:
+        with self._state_lock:
+            counters = dict(self.counters)
+            outstanding = dict(self.outstanding)
+        routed = counters["routed"]
+        affinity = counters["affinity_hits"]
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "counters": counters,
+            "affinity_hit_rate": round(affinity / routed, 4) if routed
+            else 0.0,
+            "workers": self.registry.to_rows(),
+            "outstanding": outstanding,
+            "ttl_s": self.registry.ttl_s,
+            "batch_window_s": self.batch_window_s,
+            "spill_threshold": self.spill_threshold,
+        }
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+def _make_handler(coordinator: FleetCoordinator, *, quiet: bool):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        disable_nagle_algorithm = True
+
+        def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+            if not quiet:
+                super().log_message(fmt, *args)
+
+        # ----------------------------------------------------------- util
+        def _route(self) -> str:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path.startswith("/report/"):
+                return "/report"
+            return path
+
+        def _send_json(self, status: int, obj: dict[str, Any]) -> None:
+            self._send_json_bytes(
+                status, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+        def _send_json_bytes(self, status: int, body: bytes) -> None:
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                self.close_connection = True
+                return
+            metrics = coordinator.metrics
+            if metrics is not None:
+                metrics.http_requests.inc(self.command, self._route(),
+                                          str(status))
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        def _respond_dispatch(self, thunk) -> None:
+            """Run a dispatch callable, mapping the failure taxonomy."""
+            try:
+                row = thunk()
+            except ServiceError as error:
+                # A worker answered with an HTTP error: forward it.
+                self._send_error_json(error.status, error.message)
+            except NoLiveWorkersError as error:
+                self._send_error_json(503, str(error))
+            except TransportError as error:
+                self._send_error_json(502, str(error))
+            except TimeoutError:
+                self._send_error_json(
+                    504, f"fleet request did not complete within "
+                         f"{coordinator.request_timeout_s:.1f}s")
+            except (KeyError, TypeError, ValueError) as error:
+                message = error.args[0] if error.args else error
+                self._send_error_json(400, str(message))
+            except Exception as error:  # noqa: BLE001 - surfaced per-request
+                self._send_error_json(500,
+                                      f"{type(error).__name__}: {error}")
+            else:
+                if isinstance(row, (bytes, bytearray)):
+                    self._send_json_bytes(200, bytes(row))
+                else:
+                    self._send_json(200, row)
+
+        # ------------------------------------------------------- endpoints
+        def do_GET(self) -> None:  # noqa: N802 - http.server contract
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._send_json(200, {
+                    "ok": True,
+                    "role": "coordinator",
+                    "workers": len(coordinator.registry.live()),
+                    "uptime_s": round(
+                        time.monotonic() - coordinator.started_at, 3),
+                })
+            elif path == "/stats":
+                self._send_json(200, coordinator.stats_row())
+            elif path == "/fleet/workers":
+                self._send_json(200, {
+                    "workers": coordinator.registry.to_rows(),
+                    "ttl_s": coordinator.registry.ttl_s,
+                })
+            elif path == "/metrics":
+                metrics = coordinator.metrics
+                if metrics is None:
+                    self._send_error_json(
+                        404, "metrics are disabled on this coordinator")
+                    return
+                body = metrics.render().encode("utf-8")
+                try:
+                    self.send_response(200)
+                    self.send_header("Content-Type",
+                                     metrics.registry.content_type)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    self.close_connection = True
+            elif path.startswith("/report/"):
+                key = path[len("/report/"):]
+                self._respond_dispatch(lambda: coordinator.report(key))
+            else:
+                self._send_error_json(404, f"unknown path {self.path!r}")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server contract
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length)
+            except (ValueError, OSError) as error:
+                self.close_connection = True
+                self._send_error_json(400, str(error))
+                return
+            path = self.path.split("?", 1)[0].rstrip("/")
+            try:
+                obj = json.loads(body or b"{}")
+                if not isinstance(obj, dict):
+                    raise ValueError("request body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as error:
+                self._send_error_json(400, str(error))
+                return
+            if path == "/solve":
+                self._respond_dispatch(lambda: coordinator.solve(obj))
+            elif path == "/fleet/enroll":
+                try:
+                    lease = coordinator.enroll(
+                        str(obj.get("worker_id") or ""),
+                        str(obj.get("url") or ""),
+                        obj.get("capabilities") or {})
+                except ValueError as error:
+                    self._send_error_json(400, str(error))
+                    return
+                self._send_json(200, lease)
+            elif path == "/fleet/heartbeat":
+                worker_id = str(obj.get("worker_id") or "")
+                if coordinator.registry.renew(worker_id,
+                                              obj.get("status") or {}):
+                    self._send_json(200, {"ok": True})
+                else:
+                    self._send_error_json(
+                        410, f"worker {worker_id!r} is not enrolled (lease "
+                             f"expired?): re-enroll")
+            elif path == "/fleet/leave":
+                worker_id = str(obj.get("worker_id") or "")
+                coordinator._drop_link(worker_id)
+                self._send_json(200, {
+                    "ok": coordinator.registry.deregister(worker_id)})
+            else:
+                self._send_error_json(404, f"unknown path {self.path!r}")
+
+    return Handler
+
+
+# ---------------------------------------------------------------------------
+# ``repro fleet coordinator``
+# ---------------------------------------------------------------------------
+
+def add_coordinator_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="TCP port; 0 picks an ephemeral port")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound port to this file (CI "
+                             "scripts with --port 0)")
+    parser.add_argument("--ttl", type=float, default=DEFAULT_TTL_S,
+                        help="worker liveness lease in seconds "
+                             f"(default: {DEFAULT_TTL_S})")
+    parser.add_argument("--worker-timeout", type=float, default=120.0,
+                        help="per-worker RPC timeout in seconds")
+    parser.add_argument("--worker-retries", type=int, default=1,
+                        help="connection-level retries per worker RPC")
+    parser.add_argument("--batch-window", type=float, default=0.0,
+                        help="seconds to hold same-shape explicit-seed "
+                             "requests for solve_batch grouping (0 "
+                             "disables grouping)")
+    parser.add_argument("--spill-threshold", type=int, default=4,
+                        help="in-flight depth gap beyond which a request "
+                             "is stolen by the least-loaded worker")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable /metrics and metric recording")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+
+
+def serve_coordinator(args: argparse.Namespace) -> int:
+    kwargs: dict[str, Any] = {}
+    if getattr(args, "no_metrics", False):
+        kwargs["metrics"] = None
+    coordinator = FleetCoordinator(
+        host=args.host, port=args.port, ttl_s=args.ttl,
+        worker_timeout_s=args.worker_timeout,
+        worker_retries=args.worker_retries,
+        batch_window_s=args.batch_window,
+        spill_threshold=args.spill_threshold,
+        quiet=not args.verbose, **kwargs)
+    host, port = coordinator.address
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+    print(f"[repro.fleet] coordinator on http://{host}:{port} "
+          f"(ttl={coordinator.registry.ttl_s}s, "
+          f"batch_window={coordinator.batch_window_s}s, "
+          f"spill_threshold={coordinator.spill_threshold}, "
+          f"metrics={'off' if coordinator.metrics is None else 'on'})",
+          flush=True)
+    try:
+        coordinator.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    return 0

@@ -286,6 +286,23 @@ class SolveCache:
         self.put(key, report)
         return CachedSolve(report=report, key=key, hit=False, tier="computed")
 
+    def warmth_summary(self) -> dict[str, Any]:
+        """A compact description of how warm this cache is.
+
+        Fleet workers advertise this in their enroll/heartbeat capability
+        tags so the coordinator (and ``repro fleet status``) can see which
+        nodes hold hot state worth routing to.  Cheap by design: counters
+        and sizes only, no row materialisation.
+        """
+        with self._lock:
+            return {
+                "memory_entries": len(self._memory),
+                "persistent_entries": len(self._persistent_spans),
+                "hits": self.stats.hits,
+                "puts": self.stats.puts,
+                "hit_rate": round(self.stats.hit_rate, 4),
+            }
+
     # ------------------------------------------------------- maintenance
     def compact(self) -> tuple[int, int]:
         """Compact the persistent tier (see :meth:`ResultStore.compact`)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
 import urllib.parse
@@ -43,11 +44,33 @@ class ServiceClient:
     closed-loop load-generator thread pays the TCP handshake once, not per
     request; a dropped connection is re-opened and the request retried once.
     The client is safe to share across threads.
+
+    Connection-error retries
+    ------------------------
+    ``retries=N`` allows up to ``N`` *additional* fresh-connection attempts
+    (beyond the built-in immediate reconnect for stale keep-alives) when a
+    request fails at the transport level -- ``ConnectionRefusedError`` while
+    a server boots, ``BrokenPipeError``/``ConnectionResetError`` when it
+    restarts mid-request.  Each extra attempt sleeps an exponentially
+    growing backoff with multiplicative jitter first, so a herd of clients
+    hammering a rebooting server de-synchronises instead of thundering.
+    The default ``retries=0`` keeps the historical behaviour (and timing)
+    exactly: one immediate reconnect, then the error propagates.  Retrying
+    ``POST /solve`` is safe by construction -- requests are content-
+    addressed, so a replayed solve is a cache hit, never a duplicate
+    side effect (the fleet transport leans on exactly this).
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 600.0) -> None:
+    def __init__(self, base_url: str, *, timeout: float = 600.0,
+                 retries: int = 0, backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 2.0,
+                 backoff_jitter: float = 0.25) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.backoff_jitter = float(backoff_jitter)
         parsed = urllib.parse.urlsplit(self.base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise ValueError(f"expected an http://host:port URL, "
@@ -72,14 +95,28 @@ class ServiceClient:
             connection.close()
         self._local.connection = None
 
+    def _backoff_delay(self, retry_index: int) -> float:
+        """Exponential backoff with multiplicative jitter for retry ``i``."""
+        delay = min(self.backoff_max_s,
+                    self.backoff_base_s * (2.0 ** retry_index))
+        return delay * (1.0 + self.backoff_jitter * random.random())
+
     def _request(self, method: str, path: str,
                  body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        return json.loads(
+            self._request_bytes(method, path, body).decode("utf-8"))
+
+    def _request_bytes(self, method: str, path: str,
+                       body: Mapping[str, Any] | None = None) -> bytes:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(dict(body)).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
+        # Attempt 0 plus one free immediate reconnect (stale keep-alive),
+        # plus ``retries`` backed-off fresh attempts.
+        attempts = 2 + self.retries
+        for attempt in range(attempts):
             connection = self._connection()
             try:
                 connection.request(method, self._prefix + path, body=data,
@@ -87,10 +124,14 @@ class ServiceClient:
                 response = connection.getresponse()
                 payload = response.read()
             except (http.client.HTTPException, OSError):
-                # Stale keep-alive or a restarted server: reconnect once.
+                # Stale keep-alive or a restarted server: reconnect.
                 self._drop_connection()
-                if attempt:
+                if attempt + 1 >= attempts:
                     raise
+                if attempt >= 1:
+                    # Beyond the free immediate reconnect: back off so
+                    # retry storms against a dead endpoint stay polite.
+                    time.sleep(self._backoff_delay(attempt - 1))
                 continue
             if response.status >= 400:
                 try:
@@ -98,8 +139,25 @@ class ServiceClient:
                 except Exception:  # noqa: BLE001 - non-JSON error body
                     message = response.reason
                 raise ServiceError(response.status, str(message))
-            return json.loads(payload.decode("utf-8"))
+            return payload
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def request(self, method: str, path: str,
+                body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """One raw JSON request (public: the fleet transport forwards
+        pre-validated bodies verbatim instead of re-typing them)."""
+        return self._request(method, path, body)
+
+    def request_bytes(self, method: str, path: str,
+                      body: Mapping[str, Any] | None = None) -> bytes:
+        """One request returning the raw JSON response bytes, unparsed.
+
+        The fleet coordinator's hot path: a forwarded worker response can
+        be relayed to the caller verbatim without paying a parse +
+        re-serialize round-trip per report.  Error responses (>= 400) are
+        still parsed and raised as :class:`ServiceError`.
+        """
+        return self._request_bytes(method, path, body)
 
     # ----------------------------------------------------------- endpoints
     def solve(self, workload: str, algorithm: str, *,

@@ -393,5 +393,58 @@ class ServiceMetrics:
             "Seconds since this metrics registry was created.",
             (), lambda: [((), time.time() - self.started_at)])
 
+    def bind_fleet(self, coordinator: Any) -> None:
+        """Register scrape-time families over a fleet coordinator's state.
+
+        The coordinator's dispatch counters (routed / retried / stolen /
+        scattered / batched / solo / affinity hits / failures) and the
+        worker registry's liveness view are already counted where they
+        happen; these families mirror them at scrape time, per worker
+        where a worker label exists.
+        """
+        registry = self.registry
+
+        registry.counter_family(
+            "repro_fleet_requests_total",
+            "Coordinator dispatch outcomes (routed is the total forwarded; "
+            "affinity_hits counts those served by their ring-primary; "
+            "retried, stolen, scattered, batched, solo and failed classify "
+            "the rest of the traffic).",
+            ("outcome",),
+            lambda: [((outcome,), float(count)) for outcome, count
+                     in sorted(coordinator.counters.items())])
+
+        registry.gauge_family(
+            "repro_fleet_live_workers",
+            "Workers currently enrolled and inside their liveness TTL.",
+            (), lambda: [((), float(len(coordinator.registry.live())))])
+
+        registry.counter_family(
+            "repro_fleet_workers_expired_total",
+            "Workers dropped from the registry after missing heartbeats "
+            "for a full TTL.",
+            (), lambda: [((), float(coordinator.registry.expired_total))])
+
+        registry.gauge_family(
+            "repro_fleet_worker_heartbeat_age_seconds",
+            "Seconds since each live worker's last enroll/heartbeat.",
+            ("worker",),
+            lambda: [((info.worker_id,), age) for info, age
+                     in coordinator.registry.heartbeat_ages()])
+
+        registry.gauge_family(
+            "repro_fleet_worker_outstanding",
+            "Requests the coordinator currently has in flight per worker.",
+            ("worker",),
+            lambda: [((worker_id,), float(count)) for worker_id, count
+                     in sorted(coordinator.outstanding.items())])
+
+        registry.gauge_family(
+            "repro_fleet_worker_queue_depth",
+            "Per-worker scheduler queue depth as of the last heartbeat.",
+            ("worker",),
+            lambda: [((info.worker_id,), float(info.queue_depth))
+                     for info in coordinator.registry.live()])
+
     def render(self) -> str:
         return self.registry.render()

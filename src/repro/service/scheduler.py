@@ -227,6 +227,22 @@ def _worker_solve(workload: str, graph_seed: int, algorithm: str,
     return report_to_json(report)
 
 
+def _worker_solve_batch(workload: str, graph_seed: int, algorithm: str,
+                        config: dict[str, Any], seeds: list[int],
+                        verify: bool) -> list[str]:
+    """Worker entry point for one grouped seed sweep (``solve_batch``).
+
+    The whole group executes as a single batch -- algorithms with a
+    declared batched runner run all replicas as one array program over the
+    shared topology -- and each seed's report is serialised independently,
+    so every row is cacheable and replayable on its own.
+    """
+    graph = build_workload(workload, graph_seed=graph_seed)
+    reports = REGISTRY.solve_batch(graph, algorithm, seeds=seeds,
+                                   verify=verify, **config)
+    return [report_to_json(report) for report in reports]
+
+
 @dataclass
 class _Job:
     """One queued computation (shared by every coalesced request)."""
@@ -285,6 +301,7 @@ class SolveScheduler:
         self.counters: dict[str, int] = {
             "requests": 0, "hits": 0, "computed": 0, "coalesced": 0,
             "rejected": 0, "errors": 0, "invalid": 0, "timeouts": 0,
+            "batch_jobs": 0,
         }
         self.latencies_s: deque[float] = deque(maxlen=4096)
         self.events = SolveEventBus()
@@ -539,6 +556,114 @@ class SolveScheduler:
         return self._finish_request(request, "computed", start, key=key,
                                     cell=cell, shard=shard, report=report)
 
+    async def submit_batch(self, request: SolveRequest,
+                           seeds: "list[int]") -> "list[SolveResponse]":
+        """Serve one grouped seed sweep: one row per seed, one worker job.
+
+        The fleet coordinator groups requests with an identical
+        ``(workload, algorithm, config, graph_seed)`` shape but different
+        explicit seeds and forwards them here as a single call.  Cached
+        seeds are answered from the two-tier cache (``status="hit"``); the
+        misses execute as *one* ``repro.solve_batch`` job on the shard of
+        the first missed key -- algorithms with a batched runner sweep all
+        replicas as a single array program.  Each row is cached, certified
+        and bit-identical to a solo ``repro.solve`` with that seed, so the
+        batch path never changes what a retry or replay observes.
+
+        The batch occupies one admission slot and one shard executor job;
+        it does not coalesce with in-flight solo requests (explicit-seed
+        groups share content only with themselves in practice).
+        """
+        start = time.perf_counter()
+        seed_list = [int(seed) for seed in seeds]
+        if not seed_list:
+            return []
+        self.counters["requests"] += len(seed_list)
+        if self._closed:
+            self.counters["rejected"] += len(seed_list)
+            self._finish_request(request, "rejected", start)
+            raise AdmissionError("scheduler is closed")
+        loop = asyncio.get_running_loop()
+
+        def plan_all() -> tuple[str, list[str]]:
+            cell = resolve_workload(request.workload)
+            graph = self._workload_graph(cell, request.graph_seed)
+            keys = [key_for_plan(self.registry.plan(
+                graph, request.algorithm, seed=seed, **request.config_dict))
+                for seed in seed_list]
+            return cell, keys
+
+        try:
+            cell, keys = await loop.run_in_executor(None, plan_all)
+        except (KeyError, TypeError, ValueError):
+            self.counters["invalid"] += len(seed_list)
+            self._finish_request(request, "invalid", start)
+            raise
+
+        responses: dict[int, SolveResponse] = {}
+        miss_seeds: list[int] = []
+        miss_keys: list[str] = []
+        for seed, key in zip(seed_list, keys):
+            if seed in responses or seed in miss_seeds:
+                continue  # duplicate seed in the group: one computation
+            report, tier = self.cache.lookup(
+                key, require_certificate=request.verify)
+            if report is not None:
+                self.counters["hits"] += 1
+                responses[seed] = self._finish_request(
+                    request, "hit", start, key=key, cell=cell, tier=tier,
+                    report=report)
+            else:
+                miss_seeds.append(seed)
+                miss_keys.append(key)
+
+        if miss_seeds:
+            if not self._started:
+                await self.start()
+            if self._pending >= self.max_pending:
+                self.counters["rejected"] += len(miss_seeds)
+                self._finish_request(request, "rejected", start, cell=cell)
+                raise AdmissionError(
+                    f"scheduler saturated: {self._pending} pending jobs "
+                    f"(max_pending={self.max_pending})")
+            shard = int(miss_keys[0], 16) % self.shards
+            self._pending += 1
+            try:
+                serialized = await loop.run_in_executor(
+                    self._executors[shard], functools.partial(
+                        _worker_solve_batch, cell, request.graph_seed,
+                        request.algorithm, request.config_dict, miss_seeds,
+                        request.verify))
+            except Exception as error:  # noqa: BLE001 - surfaced per-batch
+                self.counters["errors"] += len(miss_seeds)
+                log_event("job_error", cell=cell,
+                          algorithm=request.algorithm, batch=len(miss_seeds),
+                          error=f"{type(error).__name__}: {error}")
+                self._finish_request(request, "error", start, cell=cell,
+                                     shard=shard)
+                raise
+            finally:
+                self._pending -= 1
+            self.counters["batch_jobs"] += 1
+            for seed, key, row in zip(miss_seeds, miss_keys, serialized):
+                report = report_from_json(row)
+                self.cache.put(key, report)
+                self.counters["computed"] += 1
+                self._record_engine_metrics(request.algorithm, report)
+                responses[seed] = self._finish_request(
+                    request, "computed", start, key=key, cell=cell,
+                    shard=shard, report=report)
+        return [responses[seed] for seed in seed_list]
+
+    def queue_depths(self) -> "list[int]":
+        """Jobs sitting in each shard's priority queue (the steal hook).
+
+        Fleet workers report this from ``GET /fleet/status`` heartbeats so
+        the coordinator can route retries and stolen work toward the
+        shallowest node; an unstarted/stopped scheduler reports ``[]``.
+        """
+        return [queue.qsize() for queue in self._queues]
+
     def _retire_inflight(self, key: str):
         def callback(future: asyncio.Future) -> None:
             if self._inflight.get(key) is future:
@@ -733,7 +858,9 @@ class SolveScheduler:
             "invalid": self.counters["invalid"],
             "timeouts": self.counters["timeouts"],
             "hit_rate": round(served_from_cache / requests, 4) if requests else 0.0,
+            "batch_jobs": self.counters["batch_jobs"],
             "pending": self._pending,
+            "queue_depths": self.queue_depths(),
             "shards": self.shards,
             "inline_workers": self.inline,
             "live_streams": len(self.events.live_keys()),

@@ -176,6 +176,28 @@ class ServiceServer:
         row["uptime_s"] = round(time.monotonic() - self.started_at, 3)
         return row
 
+    # ------------------------------------------------------- extensibility
+    def handle_extra_get(self, path: str) -> tuple[int, dict[str, Any]] | None:
+        """Hook for subclasses serving extra GET routes.
+
+        Return ``(status, json_payload)`` to answer ``path``, or ``None``
+        to fall through to the 404.  The fleet worker overrides this for
+        ``GET /fleet/status``.
+        """
+        return None
+
+    def handle_extra_post(self, path: str, obj: dict[str, Any],
+                          ) -> tuple[int, dict[str, Any]] | None:
+        """Hook for subclasses serving extra POST routes (parsed JSON body).
+
+        Same contract as :meth:`handle_extra_get`; the fleet worker
+        overrides this for ``POST /solve_batch``.  Raise
+        :class:`~repro.service.scheduler.AdmissionError` /
+        :class:`SolveTimeout` / ``ValueError`` to reuse the standard error
+        mapping (429 / 504 / 400).
+        """
+        return None
+
     def __enter__(self) -> "ServiceServer":
         self.start()
         return self
@@ -283,7 +305,11 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
             elif path.startswith("/events/"):
                 self._stream_events(path[len("/events/"):])
             else:
-                self._send_error_json(404, f"unknown path {self.path!r}")
+                extra = service.handle_extra_get(path)
+                if extra is not None:
+                    self._send_json(*extra)
+                else:
+                    self._send_error_json(404, f"unknown path {self.path!r}")
 
         def _stream_events(self, key: str) -> None:
             """``GET /events/<key>``: SSE frames until the terminal event.
@@ -364,16 +390,39 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                 self._send_error_json(400, str(error))
                 return
             path = self.path.split("?", 1)[0].rstrip("/")
-            if path != "/solve":
-                self._send_error_json(404, f"unknown path {self.path!r}")
-                return
             try:
                 obj = json.loads(body or b"{}")
                 if not isinstance(obj, dict):
                     raise ValueError("request body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as error:
+                self._send_error_json(400, str(error))
+                return
+            if path != "/solve":
+                try:
+                    extra = service.handle_extra_post(path, obj)
+                except AdmissionError as error:
+                    self._send_error_json(429, str(error))
+                    return
+                except SolveTimeout as error:
+                    self._send_error_json(504, str(error))
+                    return
+                except (KeyError, TypeError, ValueError) as error:
+                    message = error.args[0] if error.args else error
+                    self._send_error_json(400, str(message))
+                    return
+                except Exception as error:  # noqa: BLE001 - solver fault
+                    self._send_error_json(
+                        500, f"{type(error).__name__}: {error}")
+                    return
+                if extra is not None:
+                    self._send_json(*extra)
+                else:
+                    self._send_error_json(404, f"unknown path {self.path!r}")
+                return
+            try:
                 wait = bool(obj.pop("wait", True))
                 request = SolveRequest.from_obj(obj)
-            except (ValueError, TypeError, json.JSONDecodeError) as error:
+            except (ValueError, TypeError) as error:
                 self._send_error_json(400, str(error))
                 return
             try:
