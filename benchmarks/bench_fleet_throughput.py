@@ -28,6 +28,13 @@ operator would deploy them):
   and ``stolen`` coordinator counters, the dead worker expiring from the
   registry, and the post-kill recompute of a pre-kill request being
   **bit-identical** to the original report.
+* **Tracing overhead** -- the same warm zipf workload is served by two
+  otherwise identical 2-worker fleets, one with distributed tracing on
+  (the default) and one booted ``--no-tracing`` end to end.  Each side
+  takes the best of three alternating closed-loop trials; the tracing
+  fleet additionally answers one ``/trace/<id>`` fetch per trial, as a
+  live debugging session would.  Gate: tracing-on throughput within
+  {TRACING_OVERHEAD_PCT}% of tracing-off (same hardware caveat).
 
 Results land in ``fleet_throughput.json`` under the results directory
 (`REPRO_RESULTS_DIR` honoured); CI uploads it as an artifact.
@@ -58,9 +65,15 @@ SCALE_OUT_TARGET = 1.5
 #: single ``repro serve`` process.
 WARM_AFFINITY_LIMIT = 0.20
 WARM_AFFINITY_LIMIT_PCT = int(WARM_AFFINITY_LIMIT * 100)
+#: Serving with distributed tracing on (context propagation + span
+#: recording at every hop) may cost at most this fraction of warm fleet
+#: throughput versus an identical ``--no-tracing`` fleet.
+TRACING_OVERHEAD_LIMIT = 0.05
+TRACING_OVERHEAD_PCT = int(TRACING_OVERHEAD_LIMIT * 100)
 
 __doc__ = __doc__.format(SCALE_OUT_TARGET=SCALE_OUT_TARGET,
-                         WARM_AFFINITY_LIMIT_PCT=WARM_AFFINITY_LIMIT_PCT)
+                         WARM_AFFINITY_LIMIT_PCT=WARM_AFFINITY_LIMIT_PCT,
+                         TRACING_OVERHEAD_PCT=TRACING_OVERHEAD_PCT)
 
 #: (workload cell, algorithm, config): cold entries are chosen so the
 #: solve dominates the HTTP plumbing (>= ~10ms each) -- scale-out of
@@ -141,11 +154,13 @@ class Fleet:
 
     def __init__(self, worker_count: int, tmpdir: str, *,
                  ttl_s: float = 5.0, batch_window_s: float = 0.0,
-                 label: str = "fleet") -> None:
+                 label: str = "fleet",
+                 coordinator_args: Sequence[str] = (),
+                 worker_args: Sequence[str] = ()) -> None:
         self.coordinator = _Process(
             f"{label}-coordinator",
             ["fleet", "coordinator", "--ttl", str(ttl_s),
-             "--batch-window", str(batch_window_s)],
+             "--batch-window", str(batch_window_s), *coordinator_args],
             tmpdir)
         self.worker_ids = [f"{label}-w{index}"
                            for index in range(worker_count)]
@@ -154,7 +169,8 @@ class Fleet:
                      ["fleet", "worker",
                       "--coordinator", self.coordinator.url,
                       "--worker-id", self.worker_ids[index],
-                      "--no-persist", "--inline-workers", "--shards", "2"],
+                      "--no-persist", "--inline-workers", "--shards", "2",
+                      *worker_args],
                      tmpdir)
             for index in range(worker_count)]
         self.client = ServiceClient(self.coordinator.url, timeout=300)
@@ -425,6 +441,79 @@ def measure_chaos(mix: Sequence[tuple[str, str, dict[str, Any]]],
         fleet.stop()
 
 
+# --------------------------------------------------- phase: tracing overhead
+def measure_tracing_overhead(mix: Sequence[tuple[str, str, dict[str, Any]]],
+                             tmpdir: str, *, graphs: int,
+                             requests_count: int, concurrency: int,
+                             zipf_s: float, seed: int,
+                             trials: int = 3) -> dict[str, Any]:
+    """Warm fleet serving with tracing on vs. an identical ``--no-tracing``
+    fleet.
+
+    Both fleets (coordinator + 2 workers each, all subprocesses) serve the
+    same zipf request sequence; each side takes the best of ``trials``
+    alternating runs, which cancels most scheduler noise -- the quantity
+    under test is the per-request tracing cost (context mint + header
+    propagation + span recording at every hop), not the machine's mood.
+    One ``/trace/<id>`` tree is fetched per trial on the tracing side, as
+    a live debugging session would.
+    """
+    vocabulary = [
+        _request(cell, algorithm, config, graph_seed=graph_index, seed=0)
+        for cell, algorithm, config in mix
+        for graph_index in range(graphs)]
+    sequence = zipf_sequence(len(vocabulary), requests_count, s=zipf_s,
+                             seed=seed)
+    workload = [vocabulary[index] for index in sequence]
+
+    fleets = {
+        "on": Fleet(2, tmpdir, label="traced"),
+        "off": Fleet(2, tmpdir, label="untraced",
+                     coordinator_args=["--no-tracing"],
+                     worker_args=["--no-tracing"]),
+    }
+    best: dict[str, float] = {"on": 0.0, "off": 0.0}
+    span_count = 0
+    try:
+        for fleet in fleets.values():  # warm every distinct address once
+            for body in vocabulary:
+                fleet.client.request("POST", "/solve", dict(body))
+        for trial in range(trials):
+            # Alternate which side runs first so drift hits both equally.
+            order = ("on", "off") if trial % 2 == 0 else ("off", "on")
+            for name in order:
+                elapsed, rows, errors = _closed_loop(
+                    fleets[name].client, workload, concurrency=concurrency)
+                if errors:
+                    raise errors[0]
+                best[name] = max(best[name],
+                                 len(rows) / elapsed if elapsed > 0
+                                 else float("inf"))
+            # The fetch a live debugging session would issue (untimed; a
+            # fresh request so its trace cannot have been ring-evicted).
+            row = fleets["on"].client.request("POST", "/solve",
+                                              dict(vocabulary[0]))
+            tree = fleets["on"].client.request(
+                "GET", f"/trace/{row['trace_id']}")
+            span_count = tree["span_count"]
+    finally:
+        for fleet in fleets.values():
+            fleet.stop()
+
+    overhead = max(0.0, 1.0 - best["on"] / best["off"]) \
+        if best["off"] > 0 else 0.0
+    return {
+        "tracing_on_rps": round(best["on"], 1),
+        "tracing_off_rps": round(best["off"], 1),
+        "overhead_fraction": round(overhead, 4),
+        "limit_fraction": TRACING_OVERHEAD_LIMIT,
+        "sample_trace_spans": span_count,
+        "requests_per_trial": len(workload),
+        "trials": trials,
+        "ok": overhead <= TRACING_OVERHEAD_LIMIT,
+    }
+
+
 # ---------------------------------------------------------------- experiment
 def experiment_fleet_throughput(*, smoke: bool = False, chaos: bool = False,
                                 concurrency: int = 8, zipf_s: float = 1.1,
@@ -446,6 +535,9 @@ def experiment_fleet_throughput(*, smoke: bool = False, chaos: bool = False,
             mix, tmpdir, graphs=graphs, seeds=cold_seeds,
             concurrency=concurrency)
         result["warm_affinity"] = measure_warm_affinity(
+            mix, tmpdir, graphs=graphs, requests_count=warm_requests,
+            concurrency=concurrency, zipf_s=zipf_s, seed=seed)
+        result["tracing"] = measure_tracing_overhead(
             mix, tmpdir, graphs=graphs, requests_count=warm_requests,
             concurrency=concurrency, zipf_s=zipf_s, seed=seed)
         if chaos:
@@ -491,6 +583,12 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"floor {1 - WARM_AFFINITY_LIMIT:.2f}x); fleet hit-rate "
           f"{warm['fleet_hit_rate']:.2%}, affinity hit-rate "
           f"{warm['affinity_hit_rate']:.2%}")
+    tracing = result["tracing"]
+    print(f"tracing overhead: on {tracing['tracing_on_rps']} req/s vs off "
+          f"{tracing['tracing_off_rps']} req/s "
+          f"({tracing['overhead_fraction']:.2%} overhead, limit "
+          f"{TRACING_OVERHEAD_LIMIT:.0%}); sample trace carried "
+          f"{tracing['sample_trace_spans']} spans")
     if "chaos" in result:
         chaos = result["chaos"]
         print(f"chaos: {chaos['requests']} requests, {chaos['lost']} lost, "
@@ -521,10 +619,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"single serve (floor "
                   f"{1 - WARM_AFFINITY_LIMIT:.2f}x)", file=sys.stderr)
             failed = True
+        if not tracing["ok"]:
+            print(f"FAIL: tracing overhead "
+                  f"{tracing['overhead_fraction']:.2%} > "
+                  f"{TRACING_OVERHEAD_LIMIT:.0%}", file=sys.stderr)
+            failed = True
     else:
         print(f"NOTE: single-core host (cpu_count="
-              f"{result['cpu_count']}): scale-out and warm-affinity "
-              f"gates reported but not enforced")
+              f"{result['cpu_count']}): scale-out, warm-affinity and "
+              f"tracing-overhead gates reported but not enforced")
     if "chaos" in result and not result["chaos"]["ok"]:
         print(f"FAIL: chaos gate: {json.dumps(result['chaos'])}",
               file=sys.stderr)

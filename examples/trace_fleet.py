@@ -1,0 +1,94 @@
+"""Fleet tracing demo: one request, one span tree across every hop.
+
+This example boots the full :mod:`repro.fleet` stack in-process -- a
+coordinator plus two enrolled workers -- and walks the observability
+layer added on top of it:
+
+1. solve one graph through the coordinator; the response carries the
+   ``trace_id`` the coordinator minted for the request;
+2. fetch ``GET /trace/<trace_id>`` and print the rendered span tree --
+   the coordinator's root span, the dispatch attempt, and the worker-side
+   scheduler/solve spans are stitched into one tree even though they were
+   recorded by three different processes' recorders;
+3. crash the worker that owns a graph and re-solve it: the new trace
+   shows the failed attempt on the victim *and* the retry on the
+   survivor, with the recomputed report bit-identical by construction;
+4. scrape ``GET /fleet/metrics`` -- every worker's Prometheus page merged
+   into one, each sample labelled with the worker that produced it.
+
+Run with:  python examples/trace_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro.fleet import FleetCoordinator, FleetWorker, render_span_tree
+from repro.service import ServiceClient, SolveCache, SolveScheduler
+
+WORKLOAD = "regular-n64-d4"
+ALGORITHM = "det-power-ruling"
+CONFIG = {"k": 2}
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1.
+    coordinator = FleetCoordinator(port=0, ttl_s=5.0,
+                                   circuit_reset_after_s=30.0)
+    coordinator.start()
+    workers = [
+        FleetWorker(coordinator.url, worker_id=f"w{index}", port=0,
+                    scheduler=SolveScheduler(cache=SolveCache(""),
+                                             inline=True, shards=2))
+        for index in range(2)]
+    for worker in workers:
+        worker.start()
+    client = ServiceClient(coordinator.url)
+    client.wait_healthy()
+    print(f"coordinator up at {coordinator.url}, "
+          f"workers enrolled: {[w.worker_id for w in workers]}\n")
+
+    try:
+        # -------------------------------------------------------------- 2.
+        # Every traced solve answers with the trace id of the request's
+        # span tree; ``GET /trace/<id>`` assembles the coordinator's own
+        # spans with the ones it gathers live from every worker.
+        row = client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                           graph_seed=1, seed=7)
+        tree = client.request("GET", f"/trace/{row['trace_id']}")
+        print("one solve, one tree:")
+        print(render_span_tree(tree))
+
+        # -------------------------------------------------------------- 3.
+        # Crash the owning worker and replay the same request.  The retry
+        # is idempotent (content-addressed), and the new trace keeps the
+        # failed attempt visible next to the successful failover.
+        victim_id = row["worker"]
+        victim = next(w for w in workers if w.worker_id == victim_id)
+        victim.crash()
+        coordinator._drop_link(victim_id)
+        replay = client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                              graph_seed=1, seed=7)
+        assert replay["key"] == row["key"]
+        assert replay["report"] == row["report"], "failover diverged"
+        tree = client.request("GET", f"/trace/{replay['trace_id']}")
+        print(f"\nkill {victim_id!r} and replay "
+              f"(bit-identical on {replay['worker']!r}):")
+        print(render_span_tree(tree))
+
+        # -------------------------------------------------------------- 4.
+        # The federated scrape: one page, every fleet member, each sample
+        # labelled worker="...".  Show the request counters as a taste.
+        page = client.request_bytes("GET", "/fleet/metrics").decode("utf-8")
+        interesting = [line for line in page.splitlines()
+                       if line.startswith("repro_http_requests_total{")]
+        print("\n/fleet/metrics (repro_http_requests_total excerpt):")
+        for line in interesting[:6]:
+            print(f"  {line}")
+    finally:
+        for worker in workers:
+            worker.stop()
+        coordinator.stop()
+    print("\nfleet stopped")
+
+
+if __name__ == "__main__":
+    main()

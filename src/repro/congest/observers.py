@@ -91,6 +91,15 @@ class RoundObserver:
     #: engines skip the per-message dispatch entirely otherwise.
     wants_messages = False
 
+    #: Observers that only use the run-level hooks (``on_run_start`` /
+    #: ``on_run_end``) may set this to True to declare themselves safe for
+    #: vectorized execution: the simulator then skips per-slot transport
+    #: profiling for them and the vector engine keeps its batched path
+    #: instead of falling back to the scalar loop.  Round- and
+    #: message-level hooks are NOT called by the vector engine, so any
+    #: observer that overrides them must leave this False (the default).
+    vector_compatible = False
+
     def on_run_start(self, context: RunContext) -> None:
         """Called once before ``initialize``."""
 
@@ -124,7 +133,8 @@ def ambient_observers() -> "tuple[RoundObserver, ...]":
     layer (the service layer's live solve streaming is the motivating one)
     can watch a run without the adapter's cooperation.  Ambient observers
     participate in engine selection exactly like explicit ones -- in
-    particular they route a ``vector`` run through its scalar fallback.
+    particular any that is not ``vector_compatible`` routes a ``vector``
+    run through its scalar fallback.
     """
     return tuple(getattr(_AMBIENT, "observers", ()) or ())
 

@@ -214,11 +214,16 @@ class Simulator:
         # join the explicit ones for this run only; their presence routes
         # engine selection exactly like explicit observers.
         observers = tuple(self.observers) + ambient_observers()
+        # Per-slot transport profiling only pays off for observers that
+        # consume round snapshots; run-level (``vector_compatible``)
+        # observers skip it, which also keeps the vector engine eligible.
+        profiling = any(not getattr(o, "vector_compatible", False)
+                        for o in observers)
         transport = Transport(topology,
                               bandwidth_bits=self.network.bandwidth_bits,
                               enforce=self.enforce_bandwidth,
                               half_duplex=self.half_duplex,
-                              profile_slots=bool(observers))
+                              profile_slots=profiling)
         if observers:
             context = RunContext(network=self.network, topology=topology,
                                  transport=transport, engine=self.engine.name)

@@ -648,7 +648,12 @@ class VectorEngine(RoundEngine):
         instances = runtime.instances
         if not instances:
             return None
-        if runtime.observers or runtime.transport.profile_slots:
+        if runtime.transport.profile_slots:
+            return None
+        if any(not getattr(observer, "vector_compatible", False)
+               for observer in runtime.observers):
+            # Round/message hooks never fire on the vector path, so only
+            # observers that declare themselves run-level-only may ride it.
             return None
         if runtime.transport.half_duplex:
             return None

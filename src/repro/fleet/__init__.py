@@ -33,6 +33,11 @@ Entry points: ``repro fleet coordinator``, ``repro fleet worker
 
 from repro.fleet.coordinator import FleetCoordinator, HashRing
 from repro.fleet.registry import WorkerInfo, WorkerRegistry
+from repro.fleet.tracing import (
+    assemble_trace,
+    federate_prometheus,
+    render_span_tree,
+)
 from repro.fleet.transport import (
     CircuitBreaker,
     CircuitOpenError,
@@ -56,5 +61,8 @@ __all__ = [
     "WorkerInfo",
     "WorkerLink",
     "WorkerRegistry",
+    "assemble_trace",
+    "federate_prometheus",
     "get_best_discovered_result",
+    "render_span_tree",
 ]

@@ -41,6 +41,17 @@ def _status(args: argparse.Namespace) -> int:
           f"affinity-hit-rate {stats.get('affinity_hit_rate', 0.0):.2%}")
     print("counters: " + "  ".join(
         f"{name}={counters[name]}" for name in sorted(counters)))
+    failures = stats.get("failures_by_class") or {}
+    if failures:
+        print("failures: " + "  ".join(
+            f"{name}={failures[name]}" for name in sorted(failures)))
+    tracing = stats.get("tracing")
+    if tracing is not None:
+        print(f"tracing: traces={tracing.get('traces', 0)}  "
+              f"spans={tracing.get('spans', 0)}  "
+              f"recorded={tracing.get('recorded_total', 0)}  "
+              f"dropped={tracing.get('dropped_total', 0)}  "
+              f"evicted={tracing.get('evicted_traces_total', 0)}")
     for row in workers:
         cache = (row.get("capabilities") or {}).get("cache") or {}
         print(f"  worker {row['worker_id']}  {row['url']}  "

@@ -40,8 +40,19 @@ solve workers (each one a full ``repro serve`` node).  Its pipeline per
 Endpoints: ``POST /solve`` (plus coordinator-only ``"scatter"`` flag),
 ``POST /fleet/enroll|heartbeat|leave``, ``GET /fleet/workers``,
 ``GET /report/<key>`` (scatter lookup across the fleet), ``GET /healthz``,
-``GET /stats`` (dispatch counters, affinity hit rate, worker table) and
-``GET /metrics`` (``repro_fleet_*`` families).
+``GET /stats`` (dispatch counters, failure classes, affinity hit rate,
+worker table), ``GET /metrics`` (``repro_fleet_*`` families: relay latency
+histograms by outcome, circuit-breaker state gauges, ring occupancy),
+``GET /fleet/metrics`` (every enrolled worker's page federated under a
+``worker=`` label) and ``GET /trace/<trace_id>`` (the cross-hop span tree
+of one traced solve, gathered from every live worker's recorder).
+
+Tracing: each ``POST /solve`` mints (or adopts, from an ``X-Repro-Trace``
+request header) a W3C-traceparent-style trace context.  The coordinator
+records a ``fleet.solve`` root span plus one ``fleet.attempt`` child per
+worker RPC -- including failed attempts, retries and steals -- and sends
+each attempt's child context to the worker in the same header, where the
+scheduler and the solve process record their own spans under it.
 """
 
 from __future__ import annotations
@@ -61,8 +72,11 @@ from repro.hashing.seeds import derive_seed
 from repro.service.client import ServiceError
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import SolveRequest, resolve_workload
+from repro.service.tracectx import TRACE_HEADER, Span, SpanRecorder, TraceContext
 from repro.fleet.registry import DEFAULT_TTL_S, WorkerInfo, WorkerRegistry
+from repro.fleet.tracing import assemble_trace, federate_prometheus
 from repro.fleet.transport import (
+    CircuitOpenError,
     NoLiveWorkersError,
     TransportError,
     WorkerLink,
@@ -80,14 +94,17 @@ _AUTO_METRICS = object()
 
 
 def _annotate_payload(payload: bytes, worker_id: str,
-                      attempts: int) -> bytes:
-    """Splice ``worker``/``attempts`` into JSON object bytes, no parse.
+                      attempts: int, trace_id: str | None = None) -> bytes:
+    """Splice ``worker``/``attempts``/``trace_id`` into JSON object bytes.
 
     The solo dispatch path relays the worker's response verbatim; paying
-    a full parse + re-serialize of every report just to add two small
+    a full parse + re-serialize of every report just to add a few small
     fields would make the coordinator the fleet's throughput ceiling.
     """
-    extra = json.dumps({"worker": worker_id, "attempts": attempts})[1:-1]
+    fields: dict[str, Any] = {"worker": worker_id, "attempts": attempts}
+    if trace_id:
+        fields["trace_id"] = trace_id
+    extra = json.dumps(fields)[1:-1]
     stripped = payload.lstrip()
     if not stripped.startswith(b"{"):
         return payload  # not an object; relay untouched
@@ -155,6 +172,31 @@ class HashRing:
         order = self.preference(key)
         return order[0] if order else None
 
+    def occupancy(self) -> dict[str, dict[str, float]]:
+        """Per-worker ``{"vnodes", "keyspace_share"}`` over the ring.
+
+        A virtual node at position ``p`` owns the arc ``(previous, p]``
+        (matching :meth:`preference`'s ``bisect_right`` routing), so a
+        worker's keyspace share is the summed length of its arcs over the
+        64-bit hash space.  Shares over all workers sum to 1.0.
+        """
+        ring = self._ring
+        if not ring:
+            return {}
+        span = float(2 ** 64)
+        rows: dict[str, dict[str, float]] = {
+            worker_id: {"vnodes": 0, "keyspace_share": 0.0}
+            for _, worker_id in ring}
+        previous = ring[-1][0] - 2 ** 64  # wrap: first arc crosses zero
+        for position, worker_id in ring:
+            row = rows[worker_id]
+            row["vnodes"] += 1
+            row["keyspace_share"] += (position - previous) / span
+            previous = position
+        for row in rows.values():
+            row["keyspace_share"] = round(row["keyspace_share"], 6)
+        return rows
+
 
 @dataclass
 class _Group:
@@ -163,8 +205,9 @@ class _Group:
     shape: tuple
     fingerprint: str
     template: dict[str, Any]
-    members: "list[tuple[int, str, asyncio.Future]]" = field(
-        default_factory=list)
+    #: ``(seed, solve_key, future, trace_ctx)`` per joined request.
+    members: "list[tuple[int, str, asyncio.Future, TraceContext | None]]" \
+        = field(default_factory=list)
     closed: bool = False
 
 
@@ -184,6 +227,7 @@ class FleetCoordinator:
                  circuit_reset_after_s: float = 5.0,
                  plan_memo_entries: int = 4096,
                  metrics: ServiceMetrics | None | object = _AUTO_METRICS,
+                 tracing: bool = True,
                  quiet: bool = True) -> None:
         self.registry = WorkerRegistry(ttl_s=ttl_s)
         self.ring = HashRing(replicas=ring_replicas)
@@ -204,10 +248,18 @@ class FleetCoordinator:
             "scattered": 0, "batched": 0, "batch_calls": 0, "solo": 0,
             "failed": 0, "reports": 0,
         }
+        #: Worker-RPC failures by outcome class (``http_429``,
+        #: ``http_5xx``, ``transport_error``, ``circuit_open``, ...);
+        #: same lock as ``counters``.
+        self.failures_by_class: dict[str, int] = {}
         #: In-flight requests per worker (the live load signal stealing
         #: decisions read; heartbeat queue depths are the stale backstop).
         self.outstanding: dict[str, int] = {}
         self._state_lock = threading.Lock()
+        #: Span store behind ``GET /trace/<id>``; ``tracing=False``
+        #: disables span recording and context propagation entirely.
+        self.trace_recorder: SpanRecorder | None = (
+            SpanRecorder() if tracing else None)
         self._links: dict[str, WorkerLink] = {}
         self._links_lock = threading.Lock()
         self._groups: dict[tuple, _Group] = {}
@@ -323,6 +375,12 @@ class FleetCoordinator:
             link = self._links.get(worker_id)
         return link.breaker.state if link is not None else "closed"
 
+    def breaker_states(self) -> dict[str, str]:
+        """``worker_id -> circuit state`` for every open transport link."""
+        with self._links_lock:
+            links = list(self._links.values())
+        return {link.worker_id: link.breaker.state for link in links}
+
     # ------------------------------------------------------------- planning
     def _plan(self, request: SolveRequest) -> tuple[str, str, str]:
         """``(cell, solve_key, graph_fingerprint)`` for one request.
@@ -354,7 +412,8 @@ class FleetCoordinator:
         return value
 
     # ------------------------------------------------------------- dispatch
-    def solve(self, obj: dict[str, Any]):
+    def solve(self, obj: dict[str, Any],
+              trace_parent: str | None = None):
         """Serve one ``POST /solve`` body (called on HTTP handler threads).
 
         The solo relay path -- plan (memoized), pick, forward, splice --
@@ -363,23 +422,85 @@ class FleetCoordinator:
         little else.  The fan-out paths (scatter, batch grouping) bridge
         onto the asyncio loop, which owns their timers and gathers.
 
+        With tracing on, the request gets a trace context -- adopted from
+        ``trace_parent`` (the client's ``X-Repro-Trace`` header) or the
+        body's ``trace`` field when either parses, freshly minted
+        otherwise -- and a ``fleet.solve`` root span is recorded whichever
+        way dispatch ends.  Per-attempt child contexts ride the same
+        header to workers, so the body's ``trace`` field is consumed here
+        rather than forwarded.
+
         Returns a response dict (scatter / grouped paths) or raw JSON
         bytes (the solo relay); the HTTP layer sends both.
         """
         scatter = bool(obj.pop("scatter", False))
         wait = bool(obj.pop("wait", True))
+        recorder = self.trace_recorder
+        ctx: TraceContext | None = None
+        if recorder is not None:
+            parent = (TraceContext.from_header(trace_parent)
+                      or TraceContext.from_header(obj.get("trace")))
+            ctx = parent.child() if parent is not None else TraceContext.new()
         request = SolveRequest.from_obj(obj)
         body = dict(obj)
         body["wait"] = wait
-        cell, key, fingerprint = self._plan(request)
-        if scatter:
-            return self._run_on_loop(self._scatter_solve(body, key))
-        if (self.batch_window_s > 0.0 and wait
-                and request.seed is not None):
-            return self._run_on_loop(
-                self._submit_grouped(request, body, cell, key, fingerprint))
-        self._bump("solo")
-        return self._solo_dispatch(body, key, fingerprint)
+        if ctx is not None:
+            body.pop("trace", None)
+        path_taken = "solo"
+        status = "ok"
+        error_text: str | None = None
+        start_s = time.time()
+        started = time.perf_counter()
+        try:
+            cell, key, fingerprint = self._plan(request)
+            if scatter:
+                path_taken = "scatter"
+                return self._run_on_loop(self._scatter_solve(body, key, ctx))
+            if (self.batch_window_s > 0.0 and wait
+                    and request.seed is not None):
+                path_taken = "grouped"
+                return self._run_on_loop(
+                    self._submit_grouped(request, body, cell, key,
+                                         fingerprint, ctx))
+            self._bump("solo")
+            return self._solo_dispatch(body, key, fingerprint, ctx)
+        except Exception as error:
+            status = "error"
+            error_text = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            if ctx is not None and recorder is not None:
+                attrs: dict[str, Any] = {
+                    "path": path_taken,
+                    "workload": request.workload,
+                    "algorithm": request.algorithm,
+                }
+                if error_text is not None:
+                    attrs["error"] = error_text
+                recorder.record(Span(
+                    trace_id=ctx.trace_id, span_id=ctx.span_id,
+                    parent_id=ctx.parent_id, name="fleet.solve",
+                    service="coordinator", start_s=start_s,
+                    duration_s=time.perf_counter() - started,
+                    status=status, attrs=attrs))
+
+    def _record_attempt(self, ctx: TraceContext | None, info: WorkerInfo,
+                        start_s: float, started: float, *,
+                        error: Exception | None = None,
+                        **attrs: Any) -> None:
+        """Record one ``fleet.attempt`` span (no-op when untraced)."""
+        recorder = self.trace_recorder
+        if ctx is None or recorder is None:
+            return
+        row_attrs: dict[str, Any] = {"worker": info.worker_id, **attrs}
+        if error is not None:
+            row_attrs["error"] = f"{type(error).__name__}: {error}"
+        recorder.record(Span(
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            parent_id=ctx.parent_id, name="fleet.attempt",
+            service="coordinator", start_s=start_s,
+            duration_s=time.perf_counter() - started,
+            status="ok" if error is None else "error", attrs=row_attrs))
 
     def report(self, key: str) -> dict[str, Any]:
         """``GET /report/<key>`` resolved across the whole fleet."""
@@ -438,90 +559,160 @@ class FleetCoordinator:
 
     def _call_worker_sync(self, info: WorkerInfo, method: str, path: str,
                           body: Mapping[str, Any] | None, *,
-                          raw: bool = False):
-        """One RPC on a worker link with outstanding accounting.
+                          raw: bool = False,
+                          headers: Mapping[str, str] | None = None):
+        """One RPC on a worker link with outstanding + relay accounting.
 
         ``raw=True`` returns the response bytes unparsed (the relay hot
         path); errors behave identically either way.  Blocking: called
         directly from handler threads, or via executor from coroutines.
+        Every call lands in the relay-latency histogram by outcome class;
+        non-``ok`` outcomes of dispatch calls (POST) also bump
+        ``failures_by_class`` -- GET probes like scatter report lookups
+        404 routinely and are not failures.
         """
         link = self._link(info)
         transport = link.request_bytes if raw else link.request
         with self._state_lock:
             self.outstanding[info.worker_id] = (
                 self.outstanding.get(info.worker_id, 0) + 1)
+        outcome = "ok"
+        started = time.perf_counter()
         try:
-            return transport(method, path, body)
+            return transport(method, path, body, headers=headers)
+        except CircuitOpenError:
+            outcome = "circuit_open"
+            raise
+        except ServiceError as error:
+            if error.status == 429:
+                outcome = "http_429"
+            elif error.status >= 500:
+                outcome = "http_5xx"
+            else:
+                outcome = "http_4xx"
+            raise
+        except TransportError:
+            outcome = "transport_error"
+            raise
         finally:
+            elapsed = time.perf_counter() - started
             with self._state_lock:
                 count = self.outstanding.get(info.worker_id, 1) - 1
                 if count <= 0:
                     self.outstanding.pop(info.worker_id, None)
                 else:
                     self.outstanding[info.worker_id] = count
+                if outcome != "ok" and method == "POST":
+                    self.failures_by_class[outcome] = (
+                        self.failures_by_class.get(outcome, 0) + 1)
+            metrics = self.metrics
+            if metrics is not None and metrics.relay_latency is not None:
+                metrics.relay_latency.observe(elapsed, outcome)
 
     async def _call_worker(self, info: WorkerInfo, method: str, path: str,
                            body: Mapping[str, Any] | None, *,
-                           raw: bool = False):
+                           raw: bool = False,
+                           headers: Mapping[str, str] | None = None):
         """:meth:`_call_worker_sync` bridged onto the executor pool (for
         the fan-out coroutines, which must not block the loop)."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             None, lambda: self._call_worker_sync(info, method, path, body,
-                                                 raw=raw))
+                                                 raw=raw, headers=headers))
 
     def _solo_dispatch(self, body: dict[str, Any], key: str,
-                       fingerprint: str) -> bytes:
+                       fingerprint: str,
+                       ctx: TraceContext | None = None) -> bytes:
         """Affinity-routed relay with retry-on-another-worker (blocking)."""
         failures: dict[str, Exception] = {}
+        attempt = 0
         for _ in range(self.max_worker_attempts):
             info, is_primary = self._pick_worker(fingerprint,
                                                  set(failures))
             if info is None:
                 break
+            attempt += 1
+            attempt_ctx = ctx.child() if ctx is not None else None
+            headers = ({TRACE_HEADER: attempt_ctx.to_header()}
+                       if attempt_ctx is not None else None)
+            attempt_start = time.time()
+            attempt_began = time.perf_counter()
             try:
                 payload = self._call_worker_sync(info, "POST", "/solve",
-                                                 body, raw=True)
+                                                 body, raw=True,
+                                                 headers=headers)
             except ServiceError as error:
                 if error.status == 429:
                     # That worker is saturated; the request is fine --
                     # spill it to the next one.
+                    self._record_attempt(attempt_ctx, info, attempt_start,
+                                         attempt_began, error=error,
+                                         attempt=attempt)
                     failures[info.worker_id] = error
                     self._bump("retried")
                     continue
                 # 4xx/5xx are about the request/solve, identical on every
                 # worker: propagate instead of burning the fleet.
+                self._record_attempt(attempt_ctx, info, attempt_start,
+                                     attempt_began, error=error,
+                                     attempt=attempt)
                 raise
             except TransportError as error:
+                self._record_attempt(attempt_ctx, info, attempt_start,
+                                     attempt_began, error=error,
+                                     attempt=attempt)
                 failures[info.worker_id] = error
                 self._bump("retried")
                 continue
+            self._record_attempt(attempt_ctx, info, attempt_start,
+                                 attempt_began, attempt=attempt,
+                                 primary=is_primary)
             self._bump("routed")
             if is_primary:
                 self._bump("affinity_hits")
-            return _annotate_payload(payload, info.worker_id,
-                                     len(failures) + 1)
+            return _annotate_payload(
+                payload, info.worker_id, len(failures) + 1,
+                trace_id=ctx.trace_id if ctx is not None else None)
         self._bump("failed")
         return get_best_discovered_result({}, failures)  # raises
 
     async def _dispatch_solo(self, body: dict[str, Any], key: str,
-                             fingerprint: str) -> bytes:
+                             fingerprint: str,
+                             ctx: TraceContext | None = None) -> bytes:
         """:meth:`_solo_dispatch` on the executor (batch-fallback path)."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            None, self._solo_dispatch, body, key, fingerprint)
+            None, self._solo_dispatch, body, key, fingerprint, ctx)
 
-    async def _scatter_solve(self, body: dict[str, Any],
-                             key: str) -> dict[str, Any]:
+    async def _scatter_solve(self, body: dict[str, Any], key: str,
+                             ctx: TraceContext | None = None,
+                             ) -> dict[str, Any]:
         """Speculative fan-out to every live worker; best result wins."""
         live = self.registry.live()
         if not live:
             raise NoLiveWorkersError("no live workers to scatter to")
         self._bump("scattered")
+
+        async def call_one(info: WorkerInfo):
+            attempt_ctx = ctx.child() if ctx is not None else None
+            headers = ({TRACE_HEADER: attempt_ctx.to_header()}
+                       if attempt_ctx is not None else None)
+            attempt_start = time.time()
+            attempt_began = time.perf_counter()
+            try:
+                result = await self._call_worker(info, "POST", "/solve",
+                                                 dict(body), headers=headers)
+            except Exception as error:
+                self._record_attempt(attempt_ctx, info, attempt_start,
+                                     attempt_began, error=error,
+                                     scatter=True)
+                raise
+            self._record_attempt(attempt_ctx, info, attempt_start,
+                                 attempt_began, scatter=True)
+            return result
+
         results = await asyncio.gather(
-            *(self._call_worker(info, "POST", "/solve", dict(body))
-              for info in live),
-            return_exceptions=True)
+            *(call_one(info) for info in live), return_exceptions=True)
         discovered: dict[str, dict[str, Any]] = {}
         failures: dict[str, Exception] = {}
         for info, result in zip(live, results):
@@ -536,6 +727,8 @@ class FleetCoordinator:
             raise
         self._bump("routed")
         row["worker"] = next(iter(discovered))
+        if ctx is not None:
+            row["trace_id"] = ctx.trace_id
         row["scatter"] = {
             "discovered": sorted(discovered),
             "failures": {worker_id: f"{type(error).__name__}: {error}"
@@ -546,7 +739,9 @@ class FleetCoordinator:
     # ------------------------------------------------------- batch grouping
     async def _submit_grouped(self, request: SolveRequest,
                               body: dict[str, Any], cell: str, key: str,
-                              fingerprint: str) -> dict[str, Any]:
+                              fingerprint: str,
+                              ctx: TraceContext | None = None,
+                              ) -> dict[str, Any]:
         """Join (or open) the grouping window for this request's shape."""
         shape = (cell, request.algorithm, request.config,
                  request.graph_seed, request.verify)
@@ -558,7 +753,7 @@ class FleetCoordinator:
             self._groups[shape] = group
             loop.create_task(self._flush_group(group))
         future: asyncio.Future = loop.create_future()
-        group.members.append((int(request.seed), key, future))  # type: ignore[arg-type]
+        group.members.append((int(request.seed), key, future, ctx))  # type: ignore[arg-type]
         return await future
 
     async def _flush_group(self, group: _Group) -> None:
@@ -576,18 +771,21 @@ class FleetCoordinator:
                 return
             await self._settle_batch(group, members)
         except Exception as error:  # noqa: BLE001 - fan the failure out
-            for _, _, future in members:
+            for _, _, future, _ in members:
                 if not future.done():
                     future.set_exception(error)
 
-    async def _settle_solo(self, group: _Group,
-                           member: tuple[int, str, asyncio.Future]) -> None:
-        seed, key, future = member
+    async def _settle_solo(
+            self, group: _Group,
+            member: "tuple[int, str, asyncio.Future, TraceContext | None]",
+    ) -> None:
+        seed, key, future, ctx = member
         self._bump("solo")
         body = dict(group.template)
         body["seed"] = seed
         try:
-            row = await self._dispatch_solo(body, key, group.fingerprint)
+            row = await self._dispatch_solo(body, key, group.fingerprint,
+                                            ctx)
         except Exception as error:  # noqa: BLE001 - settle, don't crash
             if not future.done():
                 future.set_exception(error)
@@ -595,12 +793,14 @@ class FleetCoordinator:
         if not future.done():
             future.set_result(row)
 
-    async def _settle_batch(self, group: _Group,
-                            members: "list[tuple[int, str, asyncio.Future]]",
-                            ) -> None:
+    async def _settle_batch(
+            self, group: _Group,
+            members: "list[tuple[int, str, asyncio.Future,"
+                     " TraceContext | None]]",
+    ) -> None:
         """One ``POST /solve_batch`` for the whole group, with failover."""
         seeds: list[int] = []
-        for seed, _, _ in members:
+        for seed, _, _, _ in members:
             if seed not in seeds:
                 seeds.append(seed)
         template = group.template
@@ -612,6 +812,7 @@ class FleetCoordinator:
             "verify": template.get("verify", True),
             "seeds": seeds,
         }
+        traced = [ctx for _, _, _, ctx in members if ctx is not None]
         failures: dict[str, Exception] = {}
         response: dict[str, Any] | None = None
         chosen: WorkerInfo | None = None
@@ -625,20 +826,39 @@ class FleetCoordinator:
                     404, f"worker {info.worker_id!r} does not accept "
                          f"/solve_batch groups")
                 continue
+            # One RPC serves every member's trace: each traced member
+            # gets its own fleet.attempt span; the worker-bound header
+            # carries the first one (a batch is one downstream request).
+            attempt_ctxs = [ctx.child() for ctx in traced]
+            headers = ({TRACE_HEADER: attempt_ctxs[0].to_header()}
+                       if attempt_ctxs else None)
+            attempt_start = time.time()
+            attempt_began = time.perf_counter()
+
+            def note_attempts(error: Exception | None = None) -> None:
+                for attempt_ctx in attempt_ctxs:
+                    self._record_attempt(
+                        attempt_ctx, info, attempt_start, attempt_began,
+                        error=error, batch=len(seeds))
+
             try:
                 response = await self._call_worker(info, "POST",
                                                    "/solve_batch",
-                                                   batch_body)
+                                                   batch_body,
+                                                   headers=headers)
             except ServiceError as error:
+                note_attempts(error)
                 if error.status in (404, 429):
                     failures[info.worker_id] = error
                     self._bump("retried")
                     continue
                 raise
             except TransportError as error:
+                note_attempts(error)
                 failures[info.worker_id] = error
                 self._bump("retried")
                 continue
+            note_attempts()
             chosen = info
             if is_primary:
                 self._bump("affinity_hits", len(members))
@@ -660,12 +880,95 @@ class FleetCoordinator:
         self._bump("batched", len(members))
         self._bump("batch_calls")
         self._bump("routed", len(members))
-        for seed, _, future in members:
+        for seed, _, future, ctx in members:
             row = dict(by_seed[seed])
             row["worker"] = chosen.worker_id
             row["grouped"] = len(members)
+            if ctx is not None:
+                row["trace_id"] = ctx.trace_id
             if not future.done():
                 future.set_result(row)
+
+    # -------------------------------------------------------- observability
+    def trace(self, trace_id: str) -> dict[str, Any] | None:
+        """``GET /trace/<id>``: the assembled cross-hop span tree.
+
+        Gathers the coordinator's own spans plus every live worker's
+        ``/trace/<id>`` rows (workers not involved answer 404 and are
+        skipped), tags each row with the process it came from, and
+        assembles one tree.  Returns ``None`` when tracing is disabled,
+        an empty dict when no hop knows the trace.
+        """
+        recorder = self.trace_recorder
+        if recorder is None:
+            return None
+        rows = [dict(row) for row in recorder.spans(trace_id)]
+        for row in rows:
+            row.setdefault("worker", "coordinator")
+        rows.extend(self._run_on_loop(self._gather_trace(trace_id)))
+        if not rows:
+            return {}
+        tree = assemble_trace(rows)
+        return {
+            "trace_id": trace_id,
+            "span_count": tree["span_count"],
+            "services": tree["services"],
+            "workers": sorted({str(row.get("worker") or "?")
+                               for row in rows}),
+            "roots": tree["roots"],
+        }
+
+    async def _gather_trace(self, trace_id: str) -> list[dict[str, Any]]:
+        live = self.registry.live()
+        if not live:
+            return []
+        results = await asyncio.gather(
+            *(self._call_worker(info, "GET", f"/trace/{trace_id}", None)
+              for info in live),
+            return_exceptions=True)
+        rows: list[dict[str, Any]] = []
+        for info, result in zip(live, results):
+            if isinstance(result, BaseException):
+                continue  # 404 = worker never saw this trace; dead = gone
+            for row in result.get("spans") or []:
+                if isinstance(row, dict):
+                    row = dict(row)
+                    row.setdefault("worker", info.worker_id)
+                    rows.append(row)
+        return rows
+
+    def fleet_metrics(self) -> str | None:
+        """``GET /fleet/metrics``: every worker's page, worker-labelled.
+
+        Scrapes each live worker's ``/metrics`` concurrently, adds the
+        coordinator's own page under ``worker="coordinator"`` and merges
+        them into one exposition document.  ``None`` when metrics are
+        disabled locally.
+        """
+        metrics = self.metrics
+        if metrics is None:
+            return None
+        pages, errors = self._run_on_loop(self._gather_fleet_metrics())
+        pages["coordinator"] = metrics.render()
+        return federate_prometheus(pages, errors=errors)
+
+    async def _gather_fleet_metrics(
+            self) -> tuple[dict[str, str], dict[str, str]]:
+        live = self.registry.live()
+        results = await asyncio.gather(
+            *(self._call_worker(info, "GET", "/metrics", None, raw=True)
+              for info in live),
+            return_exceptions=True)
+        pages: dict[str, str] = {}
+        errors: dict[str, str] = {}
+        for info, result in zip(live, results):
+            if isinstance(result, BaseException):
+                errors[info.worker_id] = (
+                    f"{type(result).__name__}: {result}")
+            else:
+                pages[info.worker_id] = bytes(result).decode(
+                    "utf-8", errors="replace")
+        return pages, errors
 
     # --------------------------------------------------------------- report
     async def scatter_report(self, key: str) -> dict[str, Any]:
@@ -694,18 +997,23 @@ class FleetCoordinator:
         with self._state_lock:
             counters = dict(self.counters)
             outstanding = dict(self.outstanding)
+            failures_by_class = dict(self.failures_by_class)
         routed = counters["routed"]
         affinity = counters["affinity_hits"]
         return {
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "counters": counters,
+            "failures_by_class": failures_by_class,
             "affinity_hit_rate": round(affinity / routed, 4) if routed
             else 0.0,
             "workers": self.registry.to_rows(),
             "outstanding": outstanding,
+            "breakers": self.breaker_states(),
             "ttl_s": self.registry.ttl_s,
             "batch_window_s": self.batch_window_s,
             "spill_threshold": self.spill_threshold,
+            "tracing": (None if self.trace_recorder is None
+                        else self.trace_recorder.stats_row()),
         }
 
 
@@ -727,6 +1035,8 @@ def _make_handler(coordinator: FleetCoordinator, *, quiet: bool):
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             if path.startswith("/report/"):
                 return "/report"
+            if path.startswith("/trace/"):
+                return "/trace"
             return path
 
         def _send_json(self, status: int, obj: dict[str, Any]) -> None:
@@ -812,6 +1122,46 @@ def _make_handler(coordinator: FleetCoordinator, *, quiet: bool):
                     self.wfile.write(body)
                 except (BrokenPipeError, ConnectionResetError):
                     self.close_connection = True
+            elif path == "/fleet/metrics":
+                try:
+                    page = coordinator.fleet_metrics()
+                except Exception as error:  # noqa: BLE001 - per-request
+                    self._send_error_json(
+                        500, f"{type(error).__name__}: {error}")
+                    return
+                if page is None:
+                    self._send_error_json(
+                        404, "metrics are disabled on this coordinator")
+                    return
+                body = page.encode("utf-8")
+                try:
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type",
+                        coordinator.metrics.registry.content_type)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    self.close_connection = True
+            elif path.startswith("/trace/"):
+                trace_id = path[len("/trace/"):]
+                try:
+                    result = coordinator.trace(trace_id)
+                except Exception as error:  # noqa: BLE001 - per-request
+                    self._send_error_json(
+                        500, f"{type(error).__name__}: {error}")
+                    return
+                if result is None:
+                    self._send_error_json(
+                        404, "tracing is disabled on this coordinator")
+                elif not result:
+                    self._send_error_json(
+                        404, f"unknown trace id {trace_id!r} (evicted, "
+                             f"never recorded, or held only by a dead "
+                             f"worker)")
+                else:
+                    self._send_json(200, result)
             elif path.startswith("/report/"):
                 key = path[len("/report/"):]
                 self._respond_dispatch(lambda: coordinator.report(key))
@@ -835,7 +1185,10 @@ def _make_handler(coordinator: FleetCoordinator, *, quiet: bool):
                 self._send_error_json(400, str(error))
                 return
             if path == "/solve":
-                self._respond_dispatch(lambda: coordinator.solve(obj))
+                trace_parent = self.headers.get(TRACE_HEADER)
+                self._respond_dispatch(
+                    lambda: coordinator.solve(obj,
+                                              trace_parent=trace_parent))
             elif path == "/fleet/enroll":
                 try:
                     lease = coordinator.enroll(
@@ -894,6 +1247,9 @@ def add_coordinator_arguments(parser: argparse.ArgumentParser) -> None:
                              "is stolen by the least-loaded worker")
     parser.add_argument("--no-metrics", action="store_true",
                         help="disable /metrics and metric recording")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable span recording, trace-context "
+                             "propagation and /trace lookups")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
 
@@ -902,6 +1258,8 @@ def serve_coordinator(args: argparse.Namespace) -> int:
     kwargs: dict[str, Any] = {}
     if getattr(args, "no_metrics", False):
         kwargs["metrics"] = None
+    if getattr(args, "no_tracing", False):
+        kwargs["tracing"] = False
     coordinator = FleetCoordinator(
         host=args.host, port=args.port, ttl_s=args.ttl,
         worker_timeout_s=args.worker_timeout,
@@ -917,7 +1275,9 @@ def serve_coordinator(args: argparse.Namespace) -> int:
           f"(ttl={coordinator.registry.ttl_s}s, "
           f"batch_window={coordinator.batch_window_s}s, "
           f"spill_threshold={coordinator.spill_threshold}, "
-          f"metrics={'off' if coordinator.metrics is None else 'on'})",
+          f"metrics={'off' if coordinator.metrics is None else 'on'}, "
+          f"tracing="
+          f"{'off' if coordinator.trace_recorder is None else 'on'})",
           flush=True)
     try:
         coordinator.serve_forever()

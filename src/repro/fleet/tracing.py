@@ -1,0 +1,211 @@
+"""Fleet-wide trace assembly and telemetry federation.
+
+Two cross-hop views live here, both pure functions over data the fleet
+already moves around:
+
+**Span-tree assembly** (:func:`assemble_trace`, :func:`render_span_tree`).
+Every hop of a fleet solve records spans into its own process-local
+:class:`~repro.service.tracectx.SpanRecorder` -- the coordinator's
+``fleet.solve`` root and per-attempt spans, the worker scheduler's
+``scheduler.request`` span, the solve process's ``worker.solve`` /
+``build_graph`` / ``engine.run`` spans.  ``GET /trace/<id>`` on the
+coordinator gathers the flat rows from every live worker plus its own
+recorder and assembles them into one tree by ``parent_id``: children are
+sorted by start time, spans whose parent never arrived (a dead worker, a
+ring-evicted trace) surface as orphan roots rather than disappearing, so
+a partial trace still tells its story.
+
+**Prometheus federation** (:func:`federate_prometheus`).  ``GET
+/fleet/metrics`` scrapes every enrolled worker's ``/metrics`` page and
+re-serves them as one document with a ``worker="<id>"`` label injected
+into every sample, the same shape a Prometheus federation endpoint
+produces: one scrape target for the whole fleet, per-worker breakdown
+preserved.  ``# HELP`` / ``# TYPE`` headers are emitted once per family
+(first writer wins); workers that fail to answer are noted as comments
+instead of failing the scrape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "assemble_trace",
+    "federate_prometheus",
+    "render_span_tree",
+]
+
+
+# ---------------------------------------------------------------------------
+# Span-tree assembly
+# ---------------------------------------------------------------------------
+
+def assemble_trace(rows: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Build the span tree of one trace from flat rows of many recorders.
+
+    Returns ``{"trace_id", "span_count", "services", "roots"}`` where each
+    tree node is its span row plus a ``children`` list (sorted by start
+    time, span id breaking ties for cross-host clock jitter).  Rows whose
+    ``parent_id`` is unknown -- the genuine root, but also spans whose
+    parent was lost with a killed worker -- become roots, ordered the same
+    way, so nothing recorded is ever dropped from the view.
+    """
+    nodes: dict[str, dict[str, Any]] = {}
+    ordered: list[dict[str, Any]] = []
+    trace_id = ""
+    for row in rows:
+        node = dict(row)
+        node["children"] = []
+        span_id = str(node.get("span_id") or "")
+        trace_id = trace_id or str(node.get("trace_id") or "")
+        if span_id and span_id not in nodes:
+            nodes[span_id] = node
+            ordered.append(node)
+
+    def sort_key(node: dict[str, Any]) -> tuple[float, str]:
+        return (float(node.get("start_s") or 0.0),
+                str(node.get("span_id") or ""))
+
+    roots: list[dict[str, Any]] = []
+    for node in ordered:
+        parent = nodes.get(str(node.get("parent_id") or ""))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in ordered:
+        node["children"].sort(key=sort_key)
+    roots.sort(key=sort_key)
+    return {
+        "trace_id": trace_id,
+        "span_count": len(ordered),
+        "services": sorted({str(node.get("service") or "?")
+                            for node in ordered}),
+        "roots": roots,
+    }
+
+
+def render_span_tree(tree: Mapping[str, Any]) -> str:
+    """ASCII rendering of an assembled trace (one span per line).
+
+    ::
+
+        trace 4f2a... (7 spans, services: coordinator, serve, worker)
+        fleet.solve [coordinator] 412.3ms ok
+        ├─ fleet.attempt [coordinator] 2.1ms error worker=w0
+        └─ fleet.attempt [coordinator] 408.9ms ok worker=w1
+           ├─ scheduler.request [serve] 405.2ms ok status=computed
+           └─ worker.solve [worker] 403.8ms ok
+              ├─ build_graph [worker] 1.2ms ok
+              └─ engine.run [worker] 398.0ms ok
+    """
+    lines = [f"trace {tree.get('trace_id', '?')} "
+             f"({tree.get('span_count', 0)} spans, services: "
+             f"{', '.join(tree.get('services', []) or ['?'])})"]
+
+    def describe(node: Mapping[str, Any]) -> str:
+        text = (f"{node.get('name', '?')} [{node.get('service', '?')}] "
+                f"{float(node.get('duration_ms') or 0.0):.1f}ms "
+                f"{node.get('status', '?')}")
+        attrs = node.get("attrs") or {}
+        shown = [f"{key}={attrs[key]}" for key in
+                 ("worker", "status", "engine_used", "error", "attempt")
+                 if key in attrs]
+        worker = node.get("worker")
+        if worker and "worker" not in attrs:
+            shown.insert(0, f"worker={worker}")
+        return text + (" " + " ".join(shown) if shown else "")
+
+    def walk(node: Mapping[str, Any], prefix: str, is_last: bool,
+             is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(node))
+            child_prefix = ""
+        else:
+            lines.append(prefix + ("└─ " if is_last else "├─ ")
+                         + describe(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = node.get("children") or []
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    for root in tree.get("roots", []):
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus federation
+# ---------------------------------------------------------------------------
+
+def _label_sample(line: str, label: str, value: str) -> str:
+    """Inject ``label="value"`` into one exposition sample line."""
+    name_end = len(line)
+    for index, char in enumerate(line):
+        if char in ("{", " "):
+            name_end = index
+            break
+    escaped = (value.replace("\\", "\\\\").replace("\n", "\\n")
+               .replace('"', '\\"'))
+    pair = f'{label}="{escaped}"'
+    if name_end < len(line) and line[name_end] == "{":
+        close = line.rindex("}")
+        existing = line[name_end + 1:close]
+        inside = f"{pair},{existing}" if existing else pair
+        return f"{line[:name_end]}{{{inside}}}{line[close + 1:]}"
+    return f"{line[:name_end]}{{{pair}}}{line[name_end:]}"
+
+
+def federate_prometheus(pages: Mapping[str, str], *,
+                        label: str = "worker",
+                        errors: Mapping[str, str] | None = None) -> str:
+    """Merge per-worker exposition pages into one worker-labelled page.
+
+    ``pages`` maps worker id -> that worker's ``/metrics`` text.  Every
+    sample line gains a ``worker="<id>"`` label (prepended, so it reads
+    first).  Samples are regrouped by metric family -- the exposition
+    format requires one contiguous block per family -- with the ``#
+    HELP`` / ``# TYPE`` header taken from the first page that defines it.
+    ``errors`` maps worker id -> failure description for workers whose
+    scrape failed; they are emitted as comments so one dead worker never
+    blanks the fleet's telemetry.
+    """
+    # family name -> {"headers": [...], "samples": [...]}; dict preserves
+    # first-seen family order across pages.
+    families: dict[str, dict[str, list[str]]] = {}
+
+    def family_for(name: str) -> dict[str, list[str]]:
+        block = families.get(name)
+        if block is None:
+            block = {"headers": [], "samples": []}
+            families[name] = block
+        return block
+
+    for worker_id in sorted(pages):
+        current = ""
+        for line in pages[worker_id].splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    current = parts[2]
+                    block = family_for(current)
+                    if not any(header.split(None, 3)[1] == parts[1]
+                               for header in block["headers"]):
+                        block["headers"].append(line)
+                continue
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            # _bucket/_sum/_count series belong to their histogram family
+            # (named by the preceding header); bare samples are their own.
+            owner = current if current and name.startswith(current) else name
+            family_for(owner)["samples"].append(
+                _label_sample(line, label, worker_id))
+    lines: list[str] = []
+    for block in families.values():
+        lines.extend(block["headers"])
+        lines.extend(block["samples"])
+    for worker_id in sorted(errors or {}):
+        lines.append(f"# federation: scrape of worker "
+                     f"{worker_id!r} failed: {errors[worker_id]}")
+    return "\n".join(lines) + "\n" if lines else "\n"

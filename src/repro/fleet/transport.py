@@ -153,32 +153,37 @@ class WorkerLink:
         self.failures = 0
 
     def request(self, method: str, path: str,
-                body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+                body: Mapping[str, Any] | None = None, *,
+                headers: Mapping[str, str] | None = None) -> dict[str, Any]:
         """One RPC through the breaker.
 
         :class:`ServiceError` (the worker answered with an HTTP error) is
         *not* a transport failure -- an unhealthy request must not open a
         healthy worker's circuit -- except for 5xx, which counts against
         the worker without being converted: the caller still sees the
-        original error for the resolver to rank.
+        original error for the resolver to rank.  ``headers`` (e.g. the
+        propagated ``X-Repro-Trace`` context) ride through to the client.
         """
-        return self._call(self.client.request, method, path, body)
+        return self._call(self.client.request, method, path, body, headers)
 
     def request_bytes(self, method: str, path: str,
-                      body: Mapping[str, Any] | None = None) -> bytes:
+                      body: Mapping[str, Any] | None = None, *,
+                      headers: Mapping[str, str] | None = None) -> bytes:
         """Like :meth:`request` but returns the raw JSON response bytes
         (the coordinator's relay hot path; errors behave identically)."""
-        return self._call(self.client.request_bytes, method, path, body)
+        return self._call(self.client.request_bytes, method, path, body,
+                          headers)
 
     def _call(self, transport, method: str, path: str,
-              body: Mapping[str, Any] | None):
+              body: Mapping[str, Any] | None,
+              headers: Mapping[str, str] | None = None):
         try:
             self.breaker.acquire()
         except CircuitOpenError as error:
             raise CircuitOpenError(self.worker_id, error.retry_in_s) from None
         self.calls += 1
         try:
-            result = transport(method, path, body)
+            result = transport(method, path, body, headers=headers)
         except ServiceError as error:
             if error.status >= 500:
                 self.failures += 1

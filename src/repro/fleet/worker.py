@@ -311,6 +311,8 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seconds to keep retrying the initial enroll")
     parser.add_argument("--no-metrics", action="store_true",
                         help="disable /metrics and metric recording")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable span recording and /trace lookups")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
 
@@ -323,6 +325,8 @@ def serve_worker(args: argparse.Namespace) -> int:
     scheduler_kwargs: dict[str, Any] = {}
     if getattr(args, "no_metrics", False):
         scheduler_kwargs["metrics"] = None
+    if getattr(args, "no_tracing", False):
+        scheduler_kwargs["tracing"] = False
     scheduler = SolveScheduler(cache=cache, shards=args.shards,
                                max_pending=args.max_pending,
                                inline=args.inline_workers,
@@ -341,7 +345,8 @@ def serve_worker(args: argparse.Namespace) -> int:
           f"http://{host}:{port} -> coordinator {worker.coordinator_url} "
           f"(shards={scheduler.shards}, "
           f"workers={'inline' if scheduler.inline else 'process-pool'}, "
-          f"cache={cache.path or 'memory-only'})",
+          f"cache={cache.path or 'memory-only'}, "
+          f"tracing={'off' if scheduler.trace_recorder is None else 'on'})",
           flush=True)
     worker.run_forever()
     return 0

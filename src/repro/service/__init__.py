@@ -58,6 +58,12 @@ from repro.service.scheduler import (
     SolveScheduler,
 )
 from repro.service.server import ServiceServer, SolveTimeout
+from repro.service.tracectx import (
+    TRACE_HEADER,
+    Span,
+    SpanRecorder,
+    TraceContext,
+)
 
 __all__ = [
     "AdmissionError",
@@ -75,7 +81,11 @@ __all__ = [
     "SolveResponse",
     "SolveScheduler",
     "SolveTimeout",
+    "Span",
+    "SpanRecorder",
     "StreamingObserver",
+    "TRACE_HEADER",
+    "TraceContext",
     "configure_json_logging",
     "log_event",
     "solve_key",

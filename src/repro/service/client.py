@@ -102,17 +102,23 @@ class ServiceClient:
         return delay * (1.0 + self.backoff_jitter * random.random())
 
     def _request(self, method: str, path: str,
-                 body: Mapping[str, Any] | None = None) -> dict[str, Any]:
-        return json.loads(
-            self._request_bytes(method, path, body).decode("utf-8"))
+                 body: Mapping[str, Any] | None = None,
+                 extra_headers: Mapping[str, str] | None = None,
+                 ) -> dict[str, Any]:
+        return json.loads(self._request_bytes(
+            method, path, body, extra_headers).decode("utf-8"))
 
     def _request_bytes(self, method: str, path: str,
-                       body: Mapping[str, Any] | None = None) -> bytes:
+                       body: Mapping[str, Any] | None = None,
+                       extra_headers: Mapping[str, str] | None = None,
+                       ) -> bytes:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(dict(body)).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         # Attempt 0 plus one free immediate reconnect (stale keep-alive),
         # plus ``retries`` backed-off fresh attempts.
         attempts = 2 + self.retries
@@ -143,13 +149,17 @@ class ServiceClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def request(self, method: str, path: str,
-                body: Mapping[str, Any] | None = None) -> dict[str, Any]:
+                body: Mapping[str, Any] | None = None, *,
+                headers: Mapping[str, str] | None = None) -> dict[str, Any]:
         """One raw JSON request (public: the fleet transport forwards
-        pre-validated bodies verbatim instead of re-typing them)."""
-        return self._request(method, path, body)
+        pre-validated bodies verbatim instead of re-typing them).
+        ``headers`` are merged over the defaults -- the fleet uses this to
+        propagate the ``X-Repro-Trace`` context."""
+        return self._request(method, path, body, headers)
 
     def request_bytes(self, method: str, path: str,
-                      body: Mapping[str, Any] | None = None) -> bytes:
+                      body: Mapping[str, Any] | None = None, *,
+                      headers: Mapping[str, str] | None = None) -> bytes:
         """One request returning the raw JSON response bytes, unparsed.
 
         The fleet coordinator's hot path: a forwarded worker response can
@@ -157,7 +167,7 @@ class ServiceClient:
         re-serialize round-trip per report.  Error responses (>= 400) are
         still parsed and raised as :class:`ServiceError`.
         """
-        return self._request_bytes(method, path, body)
+        return self._request_bytes(method, path, body, headers)
 
     # ----------------------------------------------------------- endpoints
     def solve(self, workload: str, algorithm: str, *,

@@ -16,13 +16,15 @@ for stdout) attaches a handler via :func:`configure_json_logging`.
 
 from __future__ import annotations
 
-import io
 import json
 import logging
+import logging.handlers
 import sys
 from typing import Any
 
 __all__ = [
+    "DEFAULT_LOG_MAX_BYTES",
+    "DEFAULT_LOG_BACKUPS",
     "SERVICE_LOGGER",
     "JsonLineFormatter",
     "configure_json_logging",
@@ -31,6 +33,12 @@ __all__ = [
 ]
 
 SERVICE_LOGGER = "repro.service"
+
+#: Default size-based rotation for file logs: rotate at 64 MiB, keep 3
+#: rotated generations (``PATH.1`` .. ``PATH.3``) -- ~256 MiB worst case
+#: per long-running worker.  ``max_bytes=0`` disables rotation entirely.
+DEFAULT_LOG_MAX_BYTES = 64 * 1024 * 1024
+DEFAULT_LOG_BACKUPS = 3
 
 #: Attribute carrying the structured payload on a LogRecord.
 _FIELDS_ATTR = "repro_fields"
@@ -71,21 +79,30 @@ class JsonLineFormatter(logging.Formatter):
 
 def configure_json_logging(path: str | None, *,
                            level: int = logging.INFO,
+                           max_bytes: int = DEFAULT_LOG_MAX_BYTES,
+                           backup_count: int = DEFAULT_LOG_BACKUPS,
                            ) -> logging.Handler | None:
     """Attach a JSON-lines handler to the service logger.
 
     ``path`` of ``"-"`` streams to stdout; any other string appends to
-    that file; ``None`` is a no-op (returns ``None``).  The returned
-    handler lets callers (tests, ``serve`` teardown) detach it again with
-    ``service_logger().removeHandler(handler)``.
+    that file; ``None`` is a no-op (returns ``None``).  File logs rotate
+    by size: when the file would exceed ``max_bytes`` it is renamed to
+    ``PATH.1`` (shifting older generations up to ``backup_count``) and a
+    fresh file is started, so a long-running worker's log stays bounded.
+    The default is :data:`DEFAULT_LOG_MAX_BYTES` (64 MiB) with
+    :data:`DEFAULT_LOG_BACKUPS` (3) rotated files; ``max_bytes=0``
+    disables rotation and appends forever (the historical behaviour).
+    The returned handler lets callers (tests, ``serve`` teardown) detach
+    it again with ``service_logger().removeHandler(handler)``.
     """
     if path is None:
         return None
     if path == "-":
         handler: logging.Handler = logging.StreamHandler(sys.stdout)
     else:
-        stream = io.open(path, "a", encoding="utf-8")
-        handler = logging.StreamHandler(stream)
+        handler = logging.handlers.RotatingFileHandler(
+            path, maxBytes=max(0, int(max_bytes)),
+            backupCount=max(0, int(backup_count)), encoding="utf-8")
     handler.setFormatter(JsonLineFormatter())
     handler.setLevel(level)
     logger = service_logger()

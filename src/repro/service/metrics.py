@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ServiceMetrics",
+    "FLEET_RELAY_LATENCY_BUCKETS",
     "SOLVE_LATENCY_BUCKETS",
 ]
 
@@ -49,6 +50,15 @@ __all__ = [
 SOLVE_LATENCY_BUCKETS: tuple[float, ...] = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+#: Buckets for coordinator->worker relay latency (seconds).  Deliberately
+#: coarser than :data:`SOLVE_LATENCY_BUCKETS`: a relay includes a cross-
+#: host round-trip plus the remote solve, so sub-millisecond resolution is
+#: noise while the tail (retries, timeouts, circuit probes) stretches past
+#: a local solve's -- the top bound doubles the request-timeout ballpark.
+FLEET_RELAY_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0)
 
 _CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -302,17 +312,30 @@ class ServiceMetrics:
     families that mirror the scheduler's and cache's existing counters at
     scrape time.  Each scheduler owns its own instance, so test servers
     never share state.
+
+    ``bucket_overrides`` maps histogram family names to replacement
+    bucket tuples, so deployments can re-bucket without subclassing --
+    e.g. ``{"repro_fleet_relay_latency_seconds": (0.1, 1.0, 10.0)}``.
+    Families keep their documented defaults when absent (local solve
+    latency uses :data:`SOLVE_LATENCY_BUCKETS`; the fleet relay histogram
+    uses the coarser :data:`FLEET_RELAY_LATENCY_BUCKETS`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, bucket_overrides: dict[str, Sequence[float]]
+                 | None = None) -> None:
         self.registry = MetricsRegistry()
         self.started_at = time.time()
+        self._bucket_overrides = dict(bucket_overrides or {})
+        #: Set by :meth:`bind_fleet`; ``None`` on plain schedulers.
+        self.relay_latency: Histogram | None = None
         self.solve_latency = self.registry.histogram(
             "repro_solve_latency_seconds",
             "Request latency through the scheduler by algorithm and outcome "
             "(every outcome: hits, computed, coalesced, rejected, invalid, "
             "errors, cancelled).",
-            ("algorithm", "status"))
+            ("algorithm", "status"),
+            buckets=self._buckets_for("repro_solve_latency_seconds",
+                                      SOLVE_LATENCY_BUCKETS))
         self.engine_solves = self.registry.counter(
             "repro_engine_solves_total",
             "Computed solves by algorithm and requested/used round engine "
@@ -339,6 +362,44 @@ class ServiceMetrics:
         self.stream_subscribers = self.registry.gauge(
             "repro_stream_subscribers",
             "Currently connected /events/<key> subscribers.")
+
+    def _buckets_for(self, family: str,
+                     default: Sequence[float]) -> Sequence[float]:
+        return self._bucket_overrides.get(family, default)
+
+    def _bind_trace_recorder(self, owner: Any) -> None:
+        """Sampled span-recorder families (``owner.trace_recorder``).
+
+        The recorder attribute is read at scrape time so a scheduler or
+        coordinator built with tracing disabled renders empty families.
+        """
+
+        def _span_samples():
+            recorder = getattr(owner, "trace_recorder", None)
+            if recorder is None:
+                return []
+            stats = recorder.stats_row()
+            return [(("recorded",), float(stats["recorded_total"])),
+                    (("dropped",), float(stats["dropped_total"])),
+                    (("trace_evicted",),
+                     float(stats["evicted_traces_total"]))]
+
+        self.registry.counter_family(
+            "repro_trace_spans_total",
+            "Trace spans recorded, dropped (per-trace cap) and lost to "
+            "whole-trace LRU eviction.",
+            ("event",), _span_samples)
+
+        def _trace_samples():
+            recorder = getattr(owner, "trace_recorder", None)
+            if recorder is None:
+                return []
+            return [((), float(recorder.stats_row()["traces"]))]
+
+        self.registry.gauge_family(
+            "repro_trace_traces_retained",
+            "Distinct traces currently held in the span ring buffer.",
+            (), _trace_samples)
 
     def bind_scheduler(self, scheduler: Any) -> None:
         """Register scrape-time families over the scheduler's live state."""
@@ -393,6 +454,8 @@ class ServiceMetrics:
             "Seconds since this metrics registry was created.",
             (), lambda: [((), time.time() - self.started_at)])
 
+        self._bind_trace_recorder(scheduler)
+
     def bind_fleet(self, coordinator: Any) -> None:
         """Register scrape-time families over a fleet coordinator's state.
 
@@ -445,6 +508,55 @@ class ServiceMetrics:
             ("worker",),
             lambda: [((info.worker_id,), float(info.queue_depth))
                      for info in coordinator.registry.live()])
+
+        self.relay_latency = registry.histogram(
+            "repro_fleet_relay_latency_seconds",
+            "Coordinator->worker call latency by outcome (ok, http_4xx, "
+            "http_429, http_5xx, transport_error, circuit_open) -- one "
+            "observation per attempt, so a retried request contributes "
+            "several.",
+            ("outcome",),
+            buckets=self._buckets_for("repro_fleet_relay_latency_seconds",
+                                      FLEET_RELAY_LATENCY_BUCKETS))
+
+        registry.counter_family(
+            "repro_fleet_failures_total",
+            "Failed coordinator->worker attempts by failure class.",
+            ("class",),
+            lambda: [((cls,), float(count)) for cls, count
+                     in sorted(coordinator.failures_by_class.items())])
+
+        def _circuit_samples():
+            samples = []
+            for worker_id, state in sorted(
+                    coordinator.breaker_states().items()):
+                for candidate in ("closed", "half-open", "open"):
+                    samples.append(((worker_id, candidate),
+                                    1.0 if state == candidate else 0.0))
+            return samples
+
+        registry.gauge_family(
+            "repro_fleet_circuit_state",
+            "Per-worker circuit-breaker state (1 on the active state, 0 "
+            "on the other two).",
+            ("worker", "state"), _circuit_samples)
+
+        def _ring_samples(field):
+            return [((worker_id,), float(row[field])) for worker_id, row
+                    in sorted(coordinator.ring.occupancy().items())]
+
+        registry.gauge_family(
+            "repro_fleet_ring_vnodes",
+            "Virtual nodes each worker owns on the consistent-hash ring.",
+            ("worker",), lambda: _ring_samples("vnodes"))
+
+        registry.gauge_family(
+            "repro_fleet_ring_keyspace_share",
+            "Fraction of the hash keyspace routed to each worker "
+            "(affinity balance; sums to 1 over live workers).",
+            ("worker",), lambda: _ring_samples("keyspace_share"))
+
+        self._bind_trace_recorder(coordinator)
 
     def render(self) -> str:
         return self.registry.render()

@@ -80,6 +80,12 @@ from repro.service.events import (
 )
 from repro.service.jsonlog import log_event
 from repro.service.metrics import ServiceMetrics
+from repro.service.tracectx import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    TraceRunObserver,
+)
 
 __all__ = ["AdmissionError", "SolveRequest", "SolveResponse", "SolveScheduler",
            "resolve_workload"]
@@ -133,12 +139,16 @@ class SolveRequest:
     #: request for the same solve coalesce onto one computation (whose
     #: streaming follows the *first* enqueued request).
     stream: bool = False
+    #: Propagated ``X-Repro-Trace`` header value (W3C-traceparent shape).
+    #: Like ``stream``, not part of the content address: tracing never
+    #: changes what is computed, only what is recorded about it.
+    trace: str | None = None
 
     @classmethod
     def from_obj(cls, obj: Mapping[str, Any]) -> "SolveRequest":
         """Parse + validate a JSON request body (unknown keys rejected)."""
         allowed = {"workload", "algorithm", "graph_seed", "seed", "config",
-                   "verify", "priority", "stream"}
+                   "verify", "priority", "stream", "trace"}
         unknown = set(obj) - allowed
         if unknown:
             raise ValueError(f"unknown request fields {sorted(unknown)}; "
@@ -159,6 +169,7 @@ class SolveRequest:
             verify=bool(obj.get("verify", True)),
             priority=int(obj.get("priority", 10)),
             stream=bool(obj.get("stream", False)),
+            trace=str(obj["trace"]) if obj.get("trace") else None,
         )
 
     @property
@@ -181,6 +192,8 @@ class SolveResponse:
     cell: str
     latency_s: float = 0.0
     tier: str | None = None
+    #: Trace id of the request's propagated context, when it had one.
+    trace_id: str | None = None
 
     def to_row(self) -> dict[str, Any]:
         import json
@@ -194,6 +207,8 @@ class SolveResponse:
         }
         if self.tier is not None:
             row["tier"] = self.tier
+        if self.trace_id is not None:
+            row["trace_id"] = self.trace_id
         if self.report is not None:
             row["report"] = json.loads(report_to_json(self.report))
         return row
@@ -225,6 +240,70 @@ def _worker_solve(workload: str, graph_seed: int, algorithm: str,
             report = REGISTRY.solve(graph, algorithm, seed=seed,
                                     verify=verify, **config)
     return report_to_json(report)
+
+
+def _worker_solve_traced(workload: str, graph_seed: int, algorithm: str,
+                         config: dict[str, Any], seed: int | None,
+                         verify: bool, trace: str,
+                         events_sink: Any = None) -> tuple[str, list[dict]]:
+    """Traced variant of :func:`_worker_solve`; used only when the request
+    carries an ``X-Repro-Trace`` context (``_worker_solve`` keeps its
+    historical six-positional-argument shape for everything else).
+
+    Returns ``(serialized_report, span_rows)``: spans ride back in-band
+    with the result -- no extra IPC on the solve path -- covering the
+    whole worker-side execution (``worker.solve``) with ``build_graph``
+    and ``engine.run`` child phases.  The engine phase comes from a
+    passive, vector-compatible :class:`TraceRunObserver`, so tracing does
+    not push vector-registered algorithms onto their scalar fallback.
+    When the job also streams, each span is additionally published as an
+    ``{"event": "span"}`` frame over the existing event sink, so live
+    subscribers see phases as they complete.
+    """
+    parsed = TraceContext.from_header(trace)
+    root = parsed.child() if parsed is not None else TraceContext.new()
+    spans: list[dict] = []
+    start_s = time.time()
+    t0 = time.perf_counter()
+    status = "ok"
+    try:
+        build_ctx = root.child()
+        build_start_s = time.time()
+        build_t0 = time.perf_counter()
+        graph = build_workload(workload, graph_seed=graph_seed)
+        spans.append(Span(
+            trace_id=build_ctx.trace_id, span_id=build_ctx.span_id,
+            parent_id=build_ctx.parent_id, name="build_graph",
+            service="worker", start_s=build_start_s,
+            duration_s=time.perf_counter() - build_t0,
+            attrs={"workload": workload, "graph_seed": graph_seed,
+                   "nodes": graph.number_of_nodes()}).to_row())
+
+        from repro.congest.observers import ambient_observation
+
+        observers: list[Any] = [TraceRunObserver(root, spans)]
+        if events_sink is not None:
+            observers.append(StreamingObserver(events_sink))
+        with ambient_observation(*observers):
+            report = REGISTRY.solve(graph, algorithm, seed=seed,
+                                    verify=verify, **config)
+    except Exception:
+        status = "error"
+        raise
+    finally:
+        spans.append(Span(
+            trace_id=root.trace_id, span_id=root.span_id,
+            parent_id=root.parent_id, name="worker.solve",
+            service="worker", start_s=start_s,
+            duration_s=time.perf_counter() - t0, status=status,
+            attrs={"algorithm": algorithm, "pid": os.getpid()}).to_row())
+        if events_sink is not None:
+            for row in spans:
+                try:
+                    events_sink.put({"event": "span", **row})
+                except Exception:  # noqa: BLE001 - sink died; spans still
+                    break          # return in-band with the report
+    return report_to_json(report), spans
 
 
 def _worker_solve_batch(workload: str, graph_seed: int, algorithm: str,
@@ -264,6 +343,7 @@ class SolveScheduler:
                  inline: bool = False,
                  graph_memo_entries: int = 64,
                  metrics: ServiceMetrics | None | object = _AUTO_METRICS,
+                 tracing: bool = True,
                  ) -> None:
         """``inline=True`` executes jobs on threads in-process (no worker
         pool) -- used by tests and constrained CI environments; the shard
@@ -273,6 +353,11 @@ class SolveScheduler:
         (rendered by ``GET /metrics``); pass ``None`` to disable metric
         recording entirely -- the configuration the observability-overhead
         benchmark gate compares against.
+
+        ``tracing=False`` drops the span recorder: requests carrying an
+        ``X-Repro-Trace`` context are still served identically but no
+        spans are recorded or returned from ``GET /trace/<id>`` -- the
+        fleet bench's tracing-overhead gate compares against this.
 
         The scheduler always resolves against the default
         :data:`repro.api.REGISTRY`: worker processes rebuild it on import
@@ -305,6 +390,8 @@ class SolveScheduler:
         }
         self.latencies_s: deque[float] = deque(maxlen=4096)
         self.events = SolveEventBus()
+        self.trace_recorder: SpanRecorder | None = (
+            SpanRecorder() if tracing else None)
         if metrics is _AUTO_METRICS:
             metrics = ServiceMetrics()
         self.metrics: ServiceMetrics | None = metrics  # type: ignore[assignment]
@@ -437,11 +524,34 @@ class SolveScheduler:
         if self.metrics is not None:
             self.metrics.solve_latency.observe(latency, request.algorithm,
                                                status)
+        trace_id = None
+        recorder = self.trace_recorder
+        if recorder is not None and request.trace:
+            parsed = TraceContext.from_header(request.trace)
+            if parsed is not None:
+                trace_id = parsed.trace_id
+                ctx = parsed.child()
+                span_status = ("error" if status in ("error", "rejected",
+                                                     "invalid", "cancelled")
+                               else "ok")
+                attrs: dict[str, Any] = {"status": status,
+                                         "algorithm": request.algorithm}
+                for name, value in (("key", key), ("cell", cell),
+                                    ("tier", tier), ("shard", shard)):
+                    if value is not None:
+                        attrs[name] = value
+                recorder.record(Span(
+                    trace_id=ctx.trace_id, span_id=ctx.span_id,
+                    parent_id=ctx.parent_id, name="scheduler.request",
+                    service="serve", start_s=time.time() - latency,
+                    duration_s=latency, status=span_status, attrs=attrs))
         log_event("request", key=key, cell=cell,
                   algorithm=request.algorithm, status=status,
-                  shard=shard, latency_ms=round(latency * 1e3, 3), tier=tier)
+                  shard=shard, latency_ms=round(latency * 1e3, 3), tier=tier,
+                  **({"trace_id": trace_id} if trace_id else {}))
         return SolveResponse(report=report, key=key or "", status=status,
-                             cell=cell or "", latency_s=latency, tier=tier)
+                             cell=cell or "", latency_s=latency, tier=tier,
+                             trace_id=trace_id)
 
     async def submit(self, request: SolveRequest, *,
                      wait: bool = True) -> SolveResponse:
@@ -711,7 +821,17 @@ class SolveScheduler:
             try:
                 events_sink, pump = self._job_event_plumbing(job, loop)
                 request = job.request
-                if events_sink is None:
+                traced = (request.trace is not None
+                          and self.trace_recorder is not None)
+                if traced:
+                    serialized, span_rows = await loop.run_in_executor(
+                        executor, functools.partial(
+                            _worker_solve_traced, job.cell,
+                            request.graph_seed, request.algorithm,
+                            request.config_dict, request.seed,
+                            request.verify, request.trace, events_sink))
+                    self.trace_recorder.record_rows(span_rows)
+                elif events_sink is None:
                     # Exactly the historical six positional arguments:
                     # tests (and any deployment) that substitute
                     # ``_worker_solve`` keep working for non-streamed jobs.
@@ -864,6 +984,8 @@ class SolveScheduler:
             "shards": self.shards,
             "inline_workers": self.inline,
             "live_streams": len(self.events.live_keys()),
+            "tracing": (None if self.trace_recorder is None
+                        else self.trace_recorder.stats_row()),
             "latency_ms": {
                 "count": len(values),
                 "p50": round(1e3 * self._percentile(values, 0.50), 3),

@@ -58,8 +58,14 @@ from typing import Any, Sequence
 
 from repro.api.serialize import report_to_json
 from repro.service.cache import SolveCache, default_cache_path
-from repro.service.jsonlog import configure_json_logging, log_event
+from repro.service.jsonlog import (
+    DEFAULT_LOG_BACKUPS,
+    DEFAULT_LOG_MAX_BYTES,
+    configure_json_logging,
+    log_event,
+)
 from repro.service.scheduler import AdmissionError, SolveRequest, SolveScheduler
+from repro.service.tracectx import TRACE_HEADER
 
 __all__ = ["ServiceServer", "SolveTimeout", "add_serve_arguments", "main",
            "serve"]
@@ -221,7 +227,7 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
         def _route(self) -> str:
             """The path with identifiers stripped -- a bounded label set."""
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
-            for prefix in ("/report/", "/events/"):
+            for prefix in ("/report/", "/events/", "/trace/"):
                 if path.startswith(prefix):
                     return prefix.rstrip("/")
             return path
@@ -301,6 +307,23 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                         "key": key,
                         "tier": tier,
                         "report": json.loads(report_to_json(report)),
+                    })
+            elif path.startswith("/trace/"):
+                trace_id = path[len("/trace/"):]
+                recorder = service.scheduler.trace_recorder
+                if recorder is None:
+                    self._send_error_json(
+                        404, "tracing is disabled on this server")
+                    return
+                rows = recorder.spans(trace_id)
+                if not rows:
+                    self._send_error_json(
+                        404, f"unknown trace id {trace_id!r}")
+                else:
+                    self._send_json(200, {
+                        "trace_id": trace_id,
+                        "span_count": len(rows),
+                        "spans": rows,
                     })
             elif path.startswith("/events/"):
                 self._stream_events(path[len("/events/"):])
@@ -397,6 +420,11 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
             except (ValueError, json.JSONDecodeError) as error:
                 self._send_error_json(400, str(error))
                 return
+            # Propagated trace context rides the header on every POST
+            # (solve, solve_batch, ...); an explicit body field wins.
+            trace_header = self.headers.get(TRACE_HEADER)
+            if trace_header and not obj.get("trace"):
+                obj["trace"] = trace_header
             if path != "/solve":
                 try:
                     extra = service.handle_extra_post(path, obj)
@@ -481,9 +509,21 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-json", default=None, metavar="PATH",
                         help="append one JSON log line per request to PATH "
                              "('-' for stdout)")
+    parser.add_argument("--log-json-max-bytes", type=int,
+                        default=DEFAULT_LOG_MAX_BYTES, metavar="N",
+                        help="rotate the --log-json file when it would "
+                             "exceed N bytes (default: 64 MiB; 0 disables "
+                             "rotation)")
+    parser.add_argument("--log-json-backups", type=int,
+                        default=DEFAULT_LOG_BACKUPS, metavar="N",
+                        help="rotated --log-json generations to keep "
+                             "(PATH.1..PATH.N, default: 3)")
     parser.add_argument("--no-metrics", action="store_true",
                         help="disable /metrics and all metric recording "
                              "(the observability-overhead baseline)")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable span recording and GET /trace/<id> "
+                             "(the tracing-overhead baseline)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
 
@@ -495,11 +535,18 @@ def serve(args: argparse.Namespace) -> int:
     scheduler_kwargs: dict[str, Any] = {}
     if getattr(args, "no_metrics", False):
         scheduler_kwargs["metrics"] = None
+    if getattr(args, "no_tracing", False):
+        scheduler_kwargs["tracing"] = False
     scheduler = SolveScheduler(cache=cache, shards=args.shards,
                                max_pending=args.max_pending,
                                inline=args.inline_workers,
                                **scheduler_kwargs)
-    log_handler = configure_json_logging(getattr(args, "log_json", None))
+    log_handler = configure_json_logging(
+        getattr(args, "log_json", None),
+        max_bytes=getattr(args, "log_json_max_bytes",
+                          DEFAULT_LOG_MAX_BYTES),
+        backup_count=getattr(args, "log_json_backups",
+                             DEFAULT_LOG_BACKUPS))
     server = ServiceServer(host=args.host, port=args.port,
                            scheduler=scheduler, quiet=not args.verbose,
                            request_timeout_s=getattr(
@@ -512,7 +559,8 @@ def serve(args: argparse.Namespace) -> int:
           f"(shards={scheduler.shards}, "
           f"workers={'inline' if scheduler.inline else 'process-pool'}, "
           f"cache={cache.path or 'memory-only'}, "
-          f"metrics={'off' if scheduler.metrics is None else 'on'})",
+          f"metrics={'off' if scheduler.metrics is None else 'on'}, "
+          f"tracing={'off' if scheduler.trace_recorder is None else 'on'})",
           flush=True)
     try:
         server.serve_forever()

@@ -498,6 +498,108 @@ class TestFleetIntegration:
         assert "repro_http_requests_total" in text
 
 
+class TestFleetObservability:
+    """Tracing and federated telemetry over the shared module fleet."""
+
+    def test_solve_carries_a_trace_id_and_the_tree_covers_every_hop(
+            self, fleet_client):
+        row = fleet_client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                 graph_seed=11, seed=31)
+        trace_id = row["trace_id"]
+        assert len(trace_id) == 32
+        doc = fleet_client.request("GET", f"/trace/{trace_id}")
+        assert doc["trace_id"] == trace_id
+        assert doc["span_count"] >= 4
+        assert set(doc["services"]) == {"coordinator", "serve", "worker"}
+        assert "coordinator" in doc["workers"]
+        assert row["worker"] in doc["workers"]
+        (root,) = doc["roots"]
+        assert root["name"] == "fleet.solve"
+        assert root["status"] == "ok"
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                walk(child)
+
+        walk(root)
+        assert {"fleet.solve", "fleet.attempt", "scheduler.request",
+                "worker.solve"} <= names
+
+    def test_client_supplied_trace_parent_is_adopted(self, fleet,
+                                                     fleet_client):
+        coordinator, _ = fleet
+        from repro.service import TRACE_HEADER, TraceContext
+
+        parent = TraceContext.new()
+        row = fleet_client.request(
+            "POST", "/solve",
+            {"workload": WORKLOAD, "algorithm": ALGORITHM,
+             "config": CONFIG, "graph_seed": 12, "seed": 1},
+            headers={TRACE_HEADER: parent.to_header()})
+        assert row["trace_id"] == parent.trace_id
+        rows = coordinator.trace_recorder.spans(parent.trace_id)
+        root = next(r for r in rows if r["name"] == "fleet.solve")
+        assert root["parent_id"] == parent.span_id
+
+    def test_unknown_trace_id_is_404(self, fleet_client):
+        with pytest.raises(ServiceError) as excinfo:
+            fleet_client.request("GET", "/trace/" + "d" * 32)
+        assert excinfo.value.status == 404
+
+    def test_worker_trace_endpoint_serves_its_spans(self, fleet,
+                                                    fleet_client):
+        _, workers = fleet
+        row = fleet_client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                 graph_seed=13, seed=2)
+        worker = next(w for w in workers
+                      if w.worker_id == row["worker"])
+        client = ServiceClient(worker.server.url)
+        doc = client.request("GET", f"/trace/{row['trace_id']}")
+        names = {span["name"] for span in doc["spans"]}
+        assert {"scheduler.request", "worker.solve"} <= names
+
+    def test_fleet_metrics_federates_every_worker(self, fleet_client):
+        fleet_client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                           graph_seed=14, seed=3)
+        page = fleet_client.request_bytes(
+            "GET", "/fleet/metrics").decode("utf-8")
+        for owner in ("coordinator", "w0", "w1"):
+            assert f'worker="{owner}"' in page, owner
+        # The relay histogram recorded real dispatches ...
+        counts = [line for line in page.splitlines()
+                  if line.startswith("repro_fleet_relay_latency_seconds_"
+                                     "count")
+                  and 'outcome="ok"' in line]
+        assert counts and all(not line.endswith(" 0") for line in counts)
+        # ... families stay contiguous (one header per family) ...
+        lines = page.splitlines()
+        assert sum(1 for line in lines
+                   if line.startswith("# TYPE repro_http_requests_total ")
+                   ) == 1
+        # ... and worker-side families arrive under worker labels.
+        assert any(line.startswith("repro_solve_latency_seconds_count{")
+                   and ('worker="w0"' in line or 'worker="w1"' in line)
+                   for line in lines)
+
+    def test_stats_expose_failure_classes_and_tracing(self, fleet_client):
+        stats = fleet_client.request("GET", "/stats")
+        assert isinstance(stats["failures_by_class"], dict)
+        assert stats["tracing"]["recorded_total"] > 0
+        assert set(stats["breakers"].values()) <= \
+            {"closed", "half-open", "open"}
+
+    def test_metrics_page_carries_circuit_and_ring_gauges(
+            self, fleet_client):
+        text = fleet_client.metrics()
+        assert 'repro_fleet_circuit_state{worker="w0",state="closed"} 1' \
+            in text
+        assert "repro_fleet_ring_vnodes" in text
+        assert "repro_fleet_ring_keyspace_share" in text
+        assert "repro_trace_traces_retained" in text
+
+
 class TestFleetFailureContainment:
     """Function-scoped fleets: these tests maim their workers."""
 
@@ -549,6 +651,73 @@ class TestFleetFailureContainment:
                         for info in coordinator.registry.live()] == \
                     [survivor]
                 assert coordinator.registry.expired_total >= 1
+            finally:
+                for worker in workers:
+                    if worker is not victim:
+                        worker.stop()
+
+    def test_killed_worker_failover_is_visible_in_the_trace(self):
+        """Chaos + tracing: one trace shows the death and the recovery.
+
+        Kill the affinity worker mid-fleet, re-issue the same solve, and
+        read the story straight off ``/trace/<id>``: a failed
+        ``fleet.attempt`` span naming the victim, a successful retry
+        attempt on the survivor, an ``ok`` root -- and a bit-identical
+        result, because content addressing makes the replay idempotent.
+        """
+        with FleetCoordinator(port=0, ttl_s=2.0, worker_timeout_s=30.0,
+                              circuit_reset_after_s=30.0) as coordinator:
+            workers = [_make_worker(coordinator.url, f"t{index}")
+                       for index in range(2)]
+            for worker in workers:
+                worker.start()
+            client = ServiceClient(coordinator.url, timeout=120)
+            client.wait_healthy(deadline_s=10)
+            victim = None
+            try:
+                row = client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                   seed=41)
+                victim_id = row["worker"]
+                victim = next(worker for worker in workers
+                              if worker.worker_id == victim_id)
+                survivor_id = next(worker.worker_id for worker in workers
+                                   if worker.worker_id != victim_id)
+                # Hard kill (same emulation as the zero-lost-requests
+                # test): stop serving without /fleet/leave and drop the
+                # coordinator's cached link so its next dispatch dials a
+                # dead port.
+                victim._stop_event.set()
+                victim.server._httpd.shutdown()
+                victim.server._httpd.server_close()
+                coordinator._drop_link(victim_id)
+                replay = client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                      seed=41)
+                assert replay["worker"] == survivor_id
+                # Bit-identical replay despite the failover.
+                assert replay["key"] == row["key"]
+                assert replay["report"] == row["report"]
+                doc = client.request("GET",
+                                     f"/trace/{replay['trace_id']}")
+                (root,) = doc["roots"]
+                assert root["name"] == "fleet.solve"
+                assert root["status"] == "ok"
+                attempts = [node for node in root["children"]
+                            if node["name"] == "fleet.attempt"]
+                assert len(attempts) >= 2
+                failed = [a for a in attempts if a["status"] == "error"]
+                succeeded = [a for a in attempts if a["status"] == "ok"]
+                assert any(a["attrs"]["worker"] == victim_id
+                           for a in failed), \
+                    "no failed attempt span names the killed worker"
+                (final,) = succeeded
+                assert final["attrs"]["worker"] == survivor_id
+                # The survivor's worker-side spans hang off the retry.
+                downstream = {node["name"] for node in final["children"]}
+                assert "scheduler.request" in downstream
+                # And the failure class was accounted.
+                stats = client.request("GET", "/stats")
+                assert stats["failures_by_class"].get(
+                    "transport_error", 0) > 0
             finally:
                 for worker in workers:
                     if worker is not victim:
