@@ -21,7 +21,11 @@ The acceptance gates are a **geometric-mean speedup >= 5x** across the mix
 aggregate throughput and ``/stats`` hit-rate are recorded, plus an
 **observability-overhead gate**: the same warm-cache zipf phase served by
 a metrics-enabled server must stay within 5% of an identical
-metrics-disabled server (best of three alternating trials each).
+metrics-disabled server (best of three alternating trials each), plus a
+**sustained-load gate**: a working set 10x the in-process LRU -- forcing
+steady-state reads off the sharded on-disk tier under a hard size budget
+-- must hold >= 5x direct throughput while the on-disk footprint stays
+within the budget (no unbounded growth).
 ``--smoke`` shrinks the mix and the iteration counts but keeps the gates
 -- CI runs it on every push.  Results land in ``service_throughput.json``
 under the results directory (`REPRO_RESULTS_DIR` honoured).
@@ -128,8 +132,11 @@ def _closed_loop(client: ServiceClient,
 
     def worker(worker_index: int) -> None:
         try:
-            for workload, algorithm, config in requests[worker_index::concurrency]:
-                row = client.solve(workload, algorithm, config=config)
+            for item in requests[worker_index::concurrency]:
+                workload, algorithm, config = item[0], item[1], item[2]
+                seed_value = item[3] if len(item) > 3 else None
+                row = client.solve(workload, algorithm, config=config,
+                                   seed=seed_value)
                 rows[worker_index].append(row)
         except Exception as error:  # noqa: BLE001 - surfaced after join
             errors.append(error)
@@ -238,6 +245,127 @@ def measure_observability_overhead(
     }
 
 
+# ------------------------------------------------------- sustained-load gate
+#: The sustained phase serves a working set 10x the in-process LRU, so most
+#: hits come off the sharded persistent tier; that tier must still beat
+#: direct recomputation by this factor.
+SUSTAINED_SPEEDUP_TARGET = 5.0
+#: Working-set multiple of the in-memory LRU capacity.
+SUSTAINED_WORKING_SET_FACTOR = 10
+
+
+def measure_sustained_load(*, smoke: bool, concurrency: int, zipf_s: float,
+                           seed: int, trials: int = 3) -> dict[str, Any]:
+    """Disk-tier serving under a working set 10x the in-process LRU.
+
+    Boots an in-process server whose cache has a deliberately tiny memory
+    tier and a sharded on-disk store under a hard size budget.  The working
+    set is ``SUSTAINED_WORKING_SET_FACTOR`` times the LRU capacity --
+    distinct seeds over one registry cell, so every request is a distinct
+    cache key -- forcing the steady state to serve mostly from disk.  After
+    warming every key once, a zipf-skewed sustained phase runs and the gate
+    checks that (a) throughput holds ``>= SUSTAINED_SPEEDUP_TARGET x`` the
+    direct uncached solve rate for the same cell and (b) the on-disk
+    footprint stays within the configured budget (no unbounded growth).
+    Both sides take the best of ``trials`` runs (same noise-cancelling
+    rationale as the observability gate).
+    """
+    import shutil
+    import tempfile
+
+    workload, algorithm, config = ("regular-n64-d4", "det-power-ruling",
+                                   {"k": 2})
+    memory_entries = 8 if smoke else 16
+    working_set = memory_entries * SUSTAINED_WORKING_SET_FACTOR
+    sustained_requests = (3 if smoke else 6) * working_set
+    shards = 4
+    max_segment_bytes = 32 * 1024
+    budget_bytes = (512 if smoke else 1024) * 1024
+
+    # Direct baseline: sequential certified solves of the same cell.
+    graph = DEFAULT_REGISTRY.build_cell(workload, seed=0)
+    solve(graph, algorithm, **config)  # untimed warmup
+    direct_iters = 3 if smoke else 10
+    direct_rps = 0.0
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(direct_iters):
+            solve(graph, algorithm, **config)
+        elapsed = time.perf_counter() - start
+        rate = direct_iters / elapsed if elapsed > 0 else float("inf")
+        direct_rps = max(direct_rps, rate)
+
+    store_dir = tempfile.mkdtemp(prefix="repro-sustained-")
+    try:
+        cache = SolveCache(store_dir, max_memory_entries=memory_entries,
+                           shards=shards, size_budget_bytes=budget_bytes,
+                           max_segment_bytes=max_segment_bytes)
+        scheduler = SolveScheduler(cache=cache, inline=True)
+        with ServiceServer(port=0, scheduler=scheduler) as server:
+            client = ServiceClient(server.url)
+            client.wait_healthy()
+            # Warm phase: every key of the working set computed exactly once.
+            for seed_value in range(working_set):
+                client.solve(workload, algorithm, config=config,
+                             seed=seed_value)
+            sequence = zipf_sequence(working_set, sustained_requests,
+                                     s=zipf_s, seed=seed)
+            requests = [(workload, algorithm, config, seed_value)
+                        for seed_value in sequence]
+            sustained_rps = 0.0
+            hit_fraction = 0.0
+            for _ in range(trials):
+                elapsed, rows = _closed_loop(client, requests,
+                                             concurrency=concurrency)
+                rate = len(rows) / elapsed if elapsed > 0 else float("inf")
+                served = sum(1 for row in rows
+                             if row["status"] in ("hit", "coalesced"))
+                sustained_rps = max(sustained_rps, rate)
+                hit_fraction = max(hit_fraction,
+                                   served / len(rows) if rows else 0.0)
+        occupancy = cache.shard_occupancy()
+        indexed_bytes = sum(entry.get("disk_bytes", 0) for entry in occupancy)
+        walked_bytes = 0
+        for dirpath, _, filenames in os.walk(store_dir):
+            for filename in filenames:
+                walked_bytes += os.path.getsize(os.path.join(dirpath,
+                                                             filename))
+        counters = cache.store_counters() or {}
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    speedup = sustained_rps / direct_rps if direct_rps > 0 else float("inf")
+    # The budget is enforced per-shard after every put; allow one active
+    # segment of slack per shard for rows appended since the last sweep.
+    disk_limit = budget_bytes + shards * max_segment_bytes
+    ok_speedup = speedup >= SUSTAINED_SPEEDUP_TARGET
+    ok_disk = walked_bytes <= disk_limit and indexed_bytes <= disk_limit
+    return {
+        "workload": workload,
+        "algorithm": algorithm,
+        "memory_entries": memory_entries,
+        "working_set": working_set,
+        "requests": sustained_requests,
+        "budget_bytes": budget_bytes,
+        "trials": trials,
+        "disk_bytes": walked_bytes,
+        "indexed_bytes": indexed_bytes,
+        "disk_limit_bytes": disk_limit,
+        "direct_rps": round(direct_rps, 1),
+        "sustained_rps": round(sustained_rps, 1),
+        "speedup": round(speedup, 2),
+        "target": SUSTAINED_SPEEDUP_TARGET,
+        "hit_fraction": round(hit_fraction, 4),
+        "evictions_ttl": counters.get("evictions_ttl", 0),
+        "evictions_lru": counters.get("evictions_lru", 0),
+        "compacted_segments": counters.get("compacted_segments", 0),
+        "wrong_key_reads": counters.get("wrong_key_reads", 0),
+        "ok_speedup": ok_speedup,
+        "ok_disk": ok_disk,
+        "ok": ok_speedup and ok_disk,
+    }
+
+
 # ---------------------------------------------------------------- experiment
 def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
                                   zipf_s: float = 1.1, seed: int = 7,
@@ -288,6 +416,11 @@ def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
     observability = measure_observability_overhead(
         mix, requests_count=mixed_requests, concurrency=concurrency,
         zipf_s=zipf_s, seed=seed)
+    # The sustained-load gate also always runs in-process: it must own the
+    # cache object to configure a tiny LRU + budgeted disk tier and to read
+    # shard occupancy afterwards.
+    sustained = measure_sustained_load(smoke=smoke, concurrency=concurrency,
+                                       zipf_s=zipf_s, seed=seed)
     return {
         "smoke": smoke,
         "concurrency": concurrency,
@@ -301,6 +434,7 @@ def experiment_service_throughput(*, smoke: bool = False, concurrency: int = 8,
         "latency_ms": stats.get("latency_ms"),
         "target": SPEEDUP_TARGET,
         "observability": observability,
+        "sustained": sustained,
     }
 
 
@@ -361,6 +495,19 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"{observability['metrics_off_rps']} req/s, best of "
           f"{observability['trials']} trials; limit "
           f"{observability['limit_fraction'] * 100:.0f}%)")
+    sustained = result["sustained"]
+    print(f"sustained load (working set {sustained['working_set']} keys = "
+          f"{SUSTAINED_WORKING_SET_FACTOR}x LRU of "
+          f"{sustained['memory_entries']}): "
+          f"{sustained['sustained_rps']} req/s = "
+          f"{sustained['speedup']:.2f}x direct "
+          f"({sustained['direct_rps']} req/s); hit fraction "
+          f"{sustained['hit_fraction']:.3f}; disk "
+          f"{sustained['disk_bytes']} B of "
+          f"{sustained['disk_limit_bytes']} B limit "
+          f"(budget {sustained['budget_bytes']} B, "
+          f"lru evictions {sustained['evictions_lru']}, "
+          f"compactions {sustained['compacted_segments']})")
     failed = False
     if geomean < SPEEDUP_TARGET:
         print(f"FAIL: target is geomean >= {SPEEDUP_TARGET}x", file=sys.stderr)
@@ -370,11 +517,21 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"{observability['overhead_fraction'] * 100:.2f}% exceeds "
               f"{OBSERVABILITY_OVERHEAD_LIMIT * 100:.0f}%", file=sys.stderr)
         failed = True
+    if not sustained["ok_speedup"]:
+        print(f"FAIL: sustained disk-tier speedup {sustained['speedup']:.2f}x "
+              f"below {SUSTAINED_SPEEDUP_TARGET}x", file=sys.stderr)
+        failed = True
+    if not sustained["ok_disk"]:
+        print(f"FAIL: on-disk footprint {sustained['disk_bytes']} B exceeds "
+              f"the {sustained['disk_limit_bytes']} B budget+slack limit",
+              file=sys.stderr)
+        failed = True
     if failed:
         return 1
-    print(f"OK: >= {SPEEDUP_TARGET}x (geomean) over direct solving and "
+    print(f"OK: >= {SPEEDUP_TARGET}x (geomean) over direct solving, "
           f"<= {OBSERVABILITY_OVERHEAD_LIMIT * 100:.0f}% observability "
-          f"overhead")
+          f"overhead, and >= {SUSTAINED_SPEEDUP_TARGET}x sustained "
+          f"disk-tier speedup within the size budget")
     return 0
 
 

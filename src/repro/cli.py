@@ -16,6 +16,10 @@ One command wraps the library's two operational surfaces:
 ``repro fleet <coordinator|worker|status>``
     Distributed solve fleet: the affinity-routing front door, enrollable
     workers, and a status snapshot (see :mod:`repro.fleet.cli`).
+``repro cache <warm|stats|compact>``
+    Operate the persistent solve-cache tier -- replay a recorded traffic
+    trace to pre-warm a node, inspect shard occupancy, compact dead rows
+    (see :mod:`repro.service.cache_cli`).
 ``repro --version``
     Print the library version.
 """
@@ -37,6 +41,8 @@ commands:
   serve                          JSON/HTTP solve service (repro serve --help)
   fleet <coordinator|worker|status>
                                  distributed solve fleet (repro fleet --help)
+  cache <warm|stats|compact>     persistent solve-cache tier
+                                 (repro cache warm --trace service.jsonl)
   --version                      print the library version
 """
 
@@ -64,6 +70,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.fleet.cli import main as fleet_main
 
         return fleet_main(rest)
+    if command == "cache":
+        from repro.service.cache_cli import main as cache_main
+
+        return cache_main(rest)
     if command in ("solve", "algorithms"):
         from repro.api.cli import main as api_main
 

@@ -54,12 +54,20 @@ def _status(args: argparse.Namespace) -> int:
               f"evicted={tracing.get('evicted_traces_total', 0)}")
     for row in workers:
         cache = (row.get("capabilities") or {}).get("cache") or {}
+        warmth = row.get("cache_warmth") or {}
+        shard_vector = warmth.get("shards") or []
+        warm = (f"warm={warmth.get('persistent_entries', 0)}rows"
+                f"/{(warmth.get('persistent_bytes') or 0) // 1024}KiB"
+                f" shards={'/'.join(str(n) for n in shard_vector)}"
+                if shard_vector else
+                f"warm={warmth.get('persistent_entries', 0)}rows")
         print(f"  worker {row['worker_id']}  {row['url']}  "
               f"gen={row.get('generation')}  "
               f"beats={row.get('heartbeats')}  "
               f"age={row.get('heartbeat_age_s', 0.0):.1f}s  "
               f"queue={row.get('queue_depth', 0)}  "
-              f"cache-hit-rate={cache.get('hit_rate', 0.0):.2f}")
+              f"cache-hit-rate={cache.get('hit_rate', 0.0):.2f}  "
+              f"{warm}")
     return 0
 
 

@@ -39,7 +39,11 @@ solve workers (each one a full ``repro serve`` node).  Its pipeline per
 
 Endpoints: ``POST /solve`` (plus coordinator-only ``"scatter"`` flag),
 ``POST /fleet/enroll|heartbeat|leave``, ``GET /fleet/workers``,
-``GET /report/<key>`` (scatter lookup across the fleet), ``GET /healthz``,
+``GET /report/<key>`` (scatter lookup across the fleet),
+``GET /cache/<key>[?exclude=<worker_id>]`` (fleet-shared warm read: fan the
+key out to every live worker's cache tier except the asker, so a worker
+inheriting remapped fingerprints after membership churn starts warm instead
+of recomputing), ``GET /healthz``,
 ``GET /stats`` (dispatch counters, failure classes, affinity hit rate,
 worker table), ``GET /metrics`` (``repro_fleet_*`` families: relay latency
 histograms by outcome, circuit-breaker state gauges, ring occupancy),
@@ -67,6 +71,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Sequence
+from urllib.parse import unquote
 
 from repro.hashing.seeds import derive_seed
 from repro.service.client import ServiceError
@@ -246,7 +251,7 @@ class FleetCoordinator:
         self.counters: dict[str, int] = {
             "routed": 0, "affinity_hits": 0, "retried": 0, "stolen": 0,
             "scattered": 0, "batched": 0, "batch_calls": 0, "solo": 0,
-            "failed": 0, "reports": 0,
+            "failed": 0, "reports": 0, "warm_fetches": 0, "warm_hits": 0,
         }
         #: Worker-RPC failures by outcome class (``http_429``,
         #: ``http_5xx``, ``transport_error``, ``circuit_open``, ...);
@@ -992,6 +997,43 @@ class FleetCoordinator:
         row["worker"] = next(iter(discovered))
         return row
 
+    # ----------------------------------------------------------- warm reads
+    def cache_fetch(self, key: str,
+                    exclude: str | None = None) -> dict[str, Any]:
+        """``GET /cache/<key>``: the fleet-shared warm-read fan-out.
+
+        A worker that misses locally asks the coordinator, which scatters
+        the key to every *other* live worker's ``/cache/<key>`` endpoint
+        (``exclude`` names the asker, so the fan-out never bounces the
+        miss back to it).  Same circuit breakers, outstanding accounting
+        and relay-latency histogram as every other worker RPC.
+        """
+        return self._run_on_loop(self.scatter_cache(key, exclude=exclude))
+
+    async def scatter_cache(self, key: str,
+                            exclude: str | None = None) -> dict[str, Any]:
+        live = [info for info in self.registry.live()
+                if info.worker_id != exclude]
+        if not live:
+            raise NoLiveWorkersError(
+                "no live peers to query for cached rows")
+        self._bump("warm_fetches")
+        results = await asyncio.gather(
+            *(self._call_worker(info, "GET", f"/cache/{key}", None)
+              for info in live),
+            return_exceptions=True)
+        discovered: dict[str, dict[str, Any]] = {}
+        failures: dict[str, Exception] = {}
+        for info, result in zip(live, results):
+            if isinstance(result, BaseException):
+                failures[info.worker_id] = result  # type: ignore[assignment]
+            else:
+                discovered[info.worker_id] = result
+        row = dict(get_best_discovered_result(discovered, failures))
+        self._bump("warm_hits")
+        row["worker"] = next(iter(discovered))
+        return row
+
     # ---------------------------------------------------------------- stats
     def stats_row(self) -> dict[str, Any]:
         with self._state_lock:
@@ -1035,6 +1077,8 @@ def _make_handler(coordinator: FleetCoordinator, *, quiet: bool):
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             if path.startswith("/report/"):
                 return "/report"
+            if path.startswith("/cache/"):
+                return "/cache"
             if path.startswith("/trace/"):
                 return "/trace"
             return path
@@ -1165,6 +1209,16 @@ def _make_handler(coordinator: FleetCoordinator, *, quiet: bool):
             elif path.startswith("/report/"):
                 key = path[len("/report/"):]
                 self._respond_dispatch(lambda: coordinator.report(key))
+            elif path.startswith("/cache/"):
+                key = path[len("/cache/"):]
+                query = (self.path.split("?", 1) + [""])[1]
+                exclude = None
+                for pair in query.split("&"):
+                    name, _, value = pair.partition("=")
+                    if name == "exclude" and value:
+                        exclude = unquote(value)
+                self._respond_dispatch(
+                    lambda: coordinator.cache_fetch(key, exclude=exclude))
             else:
                 self._send_error_json(404, f"unknown path {self.path!r}")
 

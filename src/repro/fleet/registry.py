@@ -70,9 +70,33 @@ class WorkerInfo:
             "queue_depth": self.queue_depth,
             "pending": self.pending,
         }
+        warmth = self.cache_warmth()
+        if warmth is not None:
+            row["cache_warmth"] = warmth
         if heartbeat_age_s is not None:
             row["heartbeat_age_s"] = round(heartbeat_age_s, 3)
         return row
+
+    def cache_warmth(self) -> dict[str, Any] | None:
+        """The heartbeat-refreshed cache snapshot, flattened for display.
+
+        ``None`` until the worker's first status carries a ``cache``
+        summary.  ``shards`` is the per-shard entry-count vector from the
+        worker's sharded persistent tier (empty for legacy/memory-only
+        caches), so ``repro fleet status`` and the ``/fleet/workers``
+        document show where the fleet's warm keys actually live.
+        """
+        cache = self.capabilities.get("cache")
+        if not isinstance(cache, Mapping):
+            return None
+        return {
+            "tier": cache.get("tier"),
+            "memory_entries": cache.get("memory_entries"),
+            "persistent_entries": cache.get("persistent_entries"),
+            "persistent_bytes": cache.get("persistent_bytes"),
+            "hit_rate": cache.get("hit_rate"),
+            "shards": list(cache.get("shards") or []),
+        }
 
 
 class WorkerRegistry:

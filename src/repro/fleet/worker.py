@@ -15,7 +15,13 @@ coalescing, admission control and metrics -- and then:
 * **re-enrolls** automatically when a heartbeat answers 410 Gone -- the
   coordinator restarted or expired the lease while this worker was
   partitioned away -- so a healed worker rejoins the routing set without
-  operator intervention.
+  operator intervention;
+* **warm-reads from peers** (unless ``--no-peer-warm``): a local cache
+  miss first asks the coordinator's ``GET /cache/<key>`` fan-out before
+  recomputing, so a worker that inherits remapped fingerprints after
+  membership churn serves them from the fleet's shared warmth.  The hop
+  rides its own short-timeout client and circuit breaker -- a struggling
+  coordinator degrades to cold solves, never to blocked lookups.
 
 Two fleet-only routes ride on the service server's extensibility hooks:
 
@@ -39,10 +45,12 @@ import socket
 import threading
 import time
 from typing import Any, Mapping, Sequence
+from urllib.parse import quote
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.scheduler import SolveRequest, SolveScheduler
 from repro.service.server import ServiceServer, SolveTimeout
+from repro.fleet.transport import CircuitBreaker
 
 __all__ = ["FleetWorker", "add_worker_arguments", "default_worker_id",
            "serve_worker"]
@@ -111,7 +119,8 @@ class FleetWorker:
                  enroll_timeout_s: float = 30.0,
                  heartbeat_interval_s: float | None = None,
                  quiet: bool = True,
-                 request_timeout_s: float = 600.0) -> None:
+                 request_timeout_s: float = 600.0,
+                 peer_warm_reads: bool = True) -> None:
         self.coordinator_url = coordinator_url.rstrip("/")
         self.worker_id = worker_id or default_worker_id()
         self.server = _WorkerServer(
@@ -130,6 +139,17 @@ class FleetWorker:
         # the common case, a dead one should fail fast.
         self._coordinator = ServiceClient(self.coordinator_url,
                                           timeout=10.0, retries=4)
+        # Peer warm reads ride a *separate* client: no retries and a short
+        # timeout, because the fallback (recompute locally) is always
+        # available and a slow warm read is worse than a cold solve.
+        self.peer_warm_reads = bool(peer_warm_reads)
+        self._warm_client = ServiceClient(self.coordinator_url,
+                                          timeout=5.0, retries=0)
+        self._warm_breaker = CircuitBreaker()
+        self.warm_fetches = 0
+        self.warm_hits = 0
+        if self.peer_warm_reads:
+            self.server.scheduler.cache.peer_fetch = self._peer_fetch
 
     # -------------------------------------------------------------- identity
     @property
@@ -153,6 +173,39 @@ class FleetWorker:
             "cache": scheduler.cache.warmth_summary(),
         }
 
+    # ----------------------------------------------------- peer warm reads
+    def _peer_fetch(self, key: str) -> dict[str, Any] | None:
+        """Ask the fleet for ``key`` via ``GET /cache/<key>`` on the
+        coordinator, which scatters to every *other* worker's cache tier.
+
+        Installed as ``SolveCache.peer_fetch``, so it runs on a local miss
+        only -- outside the cache lock and (via the scheduler's executor
+        hop) off the event loop.  A fleet-wide miss (404) is a clean
+        ``None``; transport trouble trips this worker's own breaker and
+        re-raises, which the cache counts as a peer error and treats as a
+        miss -- a struggling coordinator costs one timeout, not one per
+        lookup.
+        """
+        self._warm_breaker.acquire()
+        self.warm_fetches += 1
+        try:
+            row = self._warm_client.request(
+                "GET",
+                f"/cache/{quote(key)}?exclude={quote(self.worker_id)}")
+        except ServiceError as error:
+            if error.status in (404, 503):
+                # No peer holds the key / no live peers: a clean miss.
+                self._warm_breaker.record_success()
+                return None
+            self._warm_breaker.record_failure()
+            raise
+        except OSError:
+            self._warm_breaker.record_failure()
+            raise
+        self._warm_breaker.record_success()
+        self.warm_hits += 1
+        return row
+
     def status_row(self) -> dict[str, Any]:
         return {
             "worker_id": self.worker_id,
@@ -162,6 +215,12 @@ class FleetWorker:
             "lease": dict(self.lease) if self.lease else None,
             "heartbeats_sent": self.heartbeats_sent,
             "re_enrolls": self.re_enrolls,
+            "warm_reads": {
+                "enabled": self.peer_warm_reads,
+                "fetches": self.warm_fetches,
+                "hits": self.warm_hits,
+                "breaker": self._warm_breaker.state,
+            },
             "capabilities": self.capabilities(),
         }
 
@@ -299,14 +358,32 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
                              "a process pool (tests / constrained CI)")
     parser.add_argument("--max-pending", type=int, default=256,
                         help="admission limit on queued jobs (429 beyond)")
+    parser.add_argument("--admission-target", type=float, default=None,
+                        dest="admission_target", metavar="SECONDS",
+                        help="refuse (429) when a shard's measured service "
+                             "time predicts a longer queue wait than this")
     parser.add_argument("--cache-path", default=None,
                         help="persistent cache store (default: per-user "
-                             "path; NOTE: give each co-located worker its "
-                             "own path or --no-persist)")
+                             "sharded directory; co-located workers may "
+                             "share one to pool warmth, or use "
+                             "--no-persist)")
     parser.add_argument("--no-persist", action="store_true",
                         help="disable the persistent cache tier")
     parser.add_argument("--memory-entries", type=int, default=1024,
                         help="in-process LRU capacity (reports)")
+    parser.add_argument("--cache-shards", type=int, default=None,
+                        help="key shards in the persistent cache directory")
+    parser.add_argument("--cache-budget-mb", type=float, default=None,
+                        dest="cache_budget_mb", metavar="MB",
+                        help="on-disk cache size budget; eviction (TTL, "
+                             "then LRU) keeps the store under it")
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        dest="cache_ttl", metavar="SECONDS",
+                        help="expire persistent cache entries older than "
+                             "this")
+    parser.add_argument("--no-peer-warm", action="store_true",
+                        help="disable coordinator-mediated warm reads "
+                             "from fleet peers on local cache misses")
     parser.add_argument("--enroll-timeout", type=float, default=30.0,
                         help="seconds to keep retrying the initial enroll")
     parser.add_argument("--no-metrics", action="store_true",
@@ -318,10 +395,9 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def serve_worker(args: argparse.Namespace) -> int:
-    from repro.service.cache import SolveCache
+    from repro.service.server import build_cache_from_args
 
-    cache = SolveCache("" if args.no_persist else args.cache_path,
-                       max_memory_entries=args.memory_entries)
+    cache = build_cache_from_args(args)
     scheduler_kwargs: dict[str, Any] = {}
     if getattr(args, "no_metrics", False):
         scheduler_kwargs["metrics"] = None
@@ -329,6 +405,8 @@ def serve_worker(args: argparse.Namespace) -> int:
         scheduler_kwargs["tracing"] = False
     scheduler = SolveScheduler(cache=cache, shards=args.shards,
                                max_pending=args.max_pending,
+                               admission_target_s=getattr(
+                                   args, "admission_target", None),
                                inline=args.inline_workers,
                                **scheduler_kwargs)
     worker = FleetWorker(args.coordinator, worker_id=args.worker_id,
@@ -336,7 +414,9 @@ def serve_worker(args: argparse.Namespace) -> int:
                          advertise_url=args.advertise_url,
                          scheduler=scheduler,
                          enroll_timeout_s=args.enroll_timeout,
-                         quiet=not args.verbose)
+                         quiet=not args.verbose,
+                         peer_warm_reads=not getattr(
+                             args, "no_peer_warm", False))
     host, port = worker.server.address
     if args.port_file:
         with open(args.port_file, "w", encoding="utf-8") as handle:

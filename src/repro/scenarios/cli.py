@@ -167,9 +167,14 @@ def _cmd_compact(args: argparse.Namespace) -> int:
           f"dropped {dropped}")
     cache_path = _solve_cache_path(args.solve_cache)
     if cache_path is not None:
-        cache_store = ResultStore(cache_path, key_field="cache_key")
-        kept, dropped = cache_store.compact()
-        print(f"[scenarios] compacted {cache_store.path}: kept {kept}, "
+        # The solve cache knows its own layout (sharded directory vs the
+        # legacy single ``.jsonl``); a raw ResultStore would mistake the
+        # default directory path for a file.
+        from repro.service.cache import SolveCache
+
+        cache = SolveCache(cache_path, max_memory_entries=1)
+        kept, dropped = cache.compact()
+        print(f"[scenarios] compacted {cache.path}: kept {kept}, "
               f"dropped {dropped}")
     return 0
 

@@ -16,14 +16,68 @@ instead of ``cell_key``.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from typing import Any, Iterator, Mapping
 
+try:  # POSIX-only; the store degrades to thread-safety-only without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro._paths import results_path
 
-__all__ = ["ResultStore", "default_store_path"]
+__all__ = ["ResultStore", "append_jsonl_line", "default_store_path"]
+
+
+@contextlib.contextmanager
+def _exclusive_lock(handle):
+    """Hold an OS-level exclusive lock on ``handle`` for the block.
+
+    ``fcntl.flock`` serialises appenders *across processes* (two fleet
+    workers sharing one store), which a :class:`threading.Lock` cannot.
+    The lock is advisory: every cooperating writer goes through this
+    helper, so spans computed under it are authoritative.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def append_jsonl_line(path: str, data: bytes) -> tuple[int, int]:
+    """Append one serialised line to ``path``; return its ``(offset, length)``.
+
+    The span is computed *under an exclusive file lock*, so it is
+    authoritative even when several processes append to the same file --
+    the historical getsize-then-append dance raced and produced drifted
+    spans that misparse on read.  A torn final line (a crashed writer got
+    half a row out) is repaired first by prefixing a newline, so the
+    interrupted row is isolated as one corrupt line (skipped on load)
+    instead of fusing with -- and destroying -- the new row.
+    """
+    if not data.endswith(b"\n"):
+        raise ValueError("appended lines must be newline-terminated")
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a+b") as handle:
+        with _exclusive_lock(handle):
+            fd = handle.fileno()
+            size = os.fstat(fd).st_size
+            offset = size
+            if size > 0 and os.pread(fd, 1, size - 1) != b"\n":
+                handle.write(b"\n")
+                offset = size + 1
+            handle.write(data)
+            handle.flush()
+    return (offset, len(data))
 
 
 def default_store_path() -> str:
@@ -71,13 +125,18 @@ class ResultStore:
                     rows[key] = row
         return rows
 
-    def append(self, row: Mapping[str, Any]) -> None:
-        """Append one row (creating the parent directory on demand)."""
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(dict(row), sort_keys=True, default=str) + "\n")
+    def append(self, row: Mapping[str, Any]) -> tuple[int, int]:
+        """Append one row; return the authoritative ``(offset, length)`` span.
+
+        The span is measured under an OS-level file lock (see
+        :func:`append_jsonl_line`), so two processes appending to one
+        store cannot interleave writes or hand back stale offsets.  A
+        partial final line left by a crashed writer is repaired before
+        the new row lands, so neither row is lost.
+        """
+        data = (json.dumps(dict(row), sort_keys=True, default=str)
+                + "\n").encode("utf-8")
+        return append_jsonl_line(self.path, data)
 
     def append_all(self, rows: Iterator[Mapping[str, Any]] | list[Mapping[str, Any]],
                    ) -> int:

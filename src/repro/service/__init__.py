@@ -6,10 +6,14 @@ turns the solver library into a servable system.  PR 3's provenance block
 a run bit-for-bit, i.e. it *is* a content address; this package builds the
 machinery that exploits it:
 
-* :mod:`repro.service.cache` -- a two-tier result cache (in-process LRU +
-  persistent JSON-lines store) keyed by that address, storing serialised
-  :class:`~repro.api.RunReport` rows and replaying their certificates on
-  hit;
+* :mod:`repro.service.cache` -- a tiered result cache (in-process LRU +
+  persistent sharded store + optional fleet-peer fetch) keyed by that
+  address, storing serialised :class:`~repro.api.RunReport` rows and
+  replaying their certificates on hit;
+* :mod:`repro.service.shardstore` -- the persistent tier's engine: N
+  key-shards of segmented append-only JSON-lines logs with in-memory
+  span indexes, TTL + LRU eviction under a size budget, and segment
+  compaction (``repro cache stats|compact`` inspect and maintain it);
 * :mod:`repro.service.scheduler` -- an asyncio scheduler with request
   coalescing (identical in-flight requests share one computation),
   priority + admission queues and key-sharded dispatch to a
@@ -58,6 +62,7 @@ from repro.service.scheduler import (
     SolveScheduler,
 )
 from repro.service.server import ServiceServer, SolveTimeout
+from repro.service.shardstore import ShardStore, shard_of
 from repro.service.tracectx import (
     TRACE_HEADER,
     Span,
@@ -75,6 +80,7 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
+    "ShardStore",
     "SolveCache",
     "SolveEventBus",
     "SolveRequest",
@@ -88,6 +94,7 @@ __all__ = [
     "TraceContext",
     "configure_json_logging",
     "log_event",
+    "shard_of",
     "solve_key",
     "default_cache_path",
 ]

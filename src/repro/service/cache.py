@@ -16,16 +16,32 @@ Tiers
 -----
 * **memory** -- a bounded LRU of live :class:`RunReport` objects (payload
   included while the entry lives in memory);
-* **persistent** -- an append-only JSON-lines file under
-  :func:`repro._paths.results_dir` reusing the scenario
-  :class:`~repro.scenarios.store.ResultStore` format with ``cache_key`` as
-  the identity column.  Rows hold :func:`repro.api.report_to_json` objects:
+* **persistent** -- rows hold :func:`repro.api.report_to_json` objects:
   everything but ``payload`` round-trips, and the stored certificate is
-  replayed verbatim on a hit (re-verification is a ``replay`` away, and the
-  test suite does exactly that).
+  replayed verbatim on a hit (re-verification is a ``replay`` away, and
+  the test suite does exactly that).  Two on-disk layouts exist:
 
-Both tiers are guarded by one lock, so the cache is safe under the
-threaded HTTP server and the asyncio scheduler alike.
+  - a *sharded* store (the default): a directory of N key-shards, each a
+    sequence of rotated segment files with TTL + LRU eviction under a
+    size budget -- see :mod:`repro.service.shardstore`;
+  - the *legacy* single-file layout (any path ending in ``.jsonl``):
+    one append-only JSON-lines file reusing the scenario
+    :class:`~repro.scenarios.store.ResultStore` format with ``cache_key``
+    as the identity column.
+
+* **peer** -- optional: a ``peer_fetch`` callable (installed by fleet
+  workers; typically a coordinator-mediated ``GET /cache/<key>``) is
+  consulted on a local miss, and a fetched report is stored into both
+  local tiers, so a worker inheriting remapped keys after membership
+  churn starts warm instead of recomputing.  The peer call runs *outside*
+  the cache lock -- it is network I/O, and the peer being asked may need
+  this very lock to answer.
+
+Both local tiers are guarded by one lock, so the cache is safe under the
+threaded HTTP server and the asyncio scheduler alike.  Every persistent
+span read verifies the row's key before serving it: a stale span (the
+file was compacted or rewritten by another process) costs one rescan,
+never a wrong report.
 
 Accounting contract: :meth:`SolveCache.lookup` / :meth:`SolveCache.get`
 *count* (hits/misses feed ``hit_rate``) and *promote* (LRU order, disk ->
@@ -37,12 +53,11 @@ alarm on, nor churn the eviction order (the bug this split fixed).
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 import networkx as nx
 
@@ -51,14 +66,22 @@ from repro.api import REGISTRY, RunReport, SolvePlan
 from repro.api.serialize import report_from_json, report_to_json
 from repro.hashing.seeds import derive_seed
 from repro.scenarios.store import ResultStore
+from repro.service.shardstore import DEFAULT_SEGMENT_BYTES, DEFAULT_SHARDS, \
+    ShardStore
 
 __all__ = ["CacheStats", "CachedSolve", "SolveCache", "default_cache_path",
            "key_for_plan", "solve_key"]
 
 
 def default_cache_path() -> str:
-    """``benchmarks/results/solve_cache.jsonl`` (same anchoring as stores)."""
-    return results_path("solve_cache.jsonl")
+    """``benchmarks/results/solve_cache/`` (same anchoring as stores).
+
+    A directory: the default persistent tier is the sharded store.  The
+    pre-sharding single-file layout is still available by passing any
+    path ending in ``.jsonl`` (its historical default was
+    ``benchmarks/results/solve_cache.jsonl``).
+    """
+    return results_path("solve_cache")
 
 
 def solve_key(*, algorithm: str, graph_fingerprint: str,
@@ -85,6 +108,8 @@ class CacheStats:
     hits: int = 0
     memory_hits: int = 0
     persistent_hits: int = 0
+    peer_hits: int = 0
+    peer_errors: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
@@ -102,6 +127,8 @@ class CacheStats:
             "hits": self.hits,
             "memory_hits": self.memory_hits,
             "persistent_hits": self.persistent_hits,
+            "peer_hits": self.peer_hits,
+            "peer_errors": self.peer_errors,
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
@@ -116,26 +143,50 @@ class CachedSolve:
     report: RunReport
     key: str
     hit: bool
-    tier: str  # "memory", "persistent" or "computed"
+    tier: str  # "memory", "persistent", "peer" or "computed"
 
 
 class SolveCache:
-    """Two-tier (LRU memory + JSON-lines disk) cache of solved RunReports."""
+    """Two-tier (LRU memory + sharded/JSON-lines disk) cache of RunReports."""
 
     def __init__(self, path: str | None = None, *,
                  max_memory_entries: int = 1024,
-                 registry=REGISTRY) -> None:
-        """``path=None`` picks the default store; ``path=""`` disables disk."""
+                 registry=REGISTRY,
+                 shards: int = DEFAULT_SHARDS,
+                 size_budget_bytes: int | None = None,
+                 ttl_s: float | None = None,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 peer_fetch: Callable[[str], Mapping[str, Any] | None]
+                 | None = None) -> None:
+        """``path=None`` picks the default store; ``path=""`` disables disk.
+
+        A ``path`` ending in ``.jsonl`` selects the legacy single-file
+        layout; any other non-empty path is a sharded-store directory
+        (``shards``, ``size_budget_bytes``, ``ttl_s`` and
+        ``max_segment_bytes`` apply only there).  ``peer_fetch``, when
+        given, is called with a cache key on a local miss and may return
+        a stored row (or report-JSON) fetched from a fleet peer.
+        """
         if path is None:
             path = default_cache_path()
         self.registry = registry
         self.max_memory_entries = max(1, int(max_memory_entries))
+        self.peer_fetch = peer_fetch
         self._memory: "OrderedDict[str, RunReport]" = OrderedDict()
-        self._store = ResultStore(path, key_field="cache_key") if path else None
-        # The persistent tier is indexed by byte span, not by row: keeping
+        self._store: ResultStore | None = None
+        self._shardstore: ShardStore | None = None
+        if path and path.endswith(".jsonl"):
+            self._store = ResultStore(path, key_field="cache_key")
+        elif path:
+            self._shardstore = ShardStore(
+                path, shards=shards, key_field="cache_key",
+                max_segment_bytes=max_segment_bytes,
+                size_budget_bytes=size_budget_bytes, ttl_s=ttl_s)
+        # The legacy tier is indexed by byte span, not by row: keeping
         # every serialised report in process memory would make the LRU
         # bound illusory for long-lived servers.  A persistent hit seeks
-        # and re-parses its one line.
+        # and re-parses its one line.  (The sharded store keeps its own
+        # per-shard span indexes.)
         self._persistent_spans: dict[str, tuple[int, int]] = (
             self._scan_spans())
         self._lock = threading.Lock()
@@ -167,23 +218,55 @@ class SolveCache:
         return spans
 
     def _read_persistent(self, key: str) -> RunReport | None:
-        """Re-read one row by its span (``None`` on any inconsistency)."""
+        """The persistent-tier report for ``key`` (``None`` when absent).
+
+        Both layouts verify that the bytes they read actually belong to
+        ``key`` before deserialising: a span can go stale whenever another
+        process compacts or rewrites the store, and a stale span may parse
+        a perfectly *valid* row -- for a different key.  On mismatch the
+        index is rebuilt and the read retried once; failing that, a miss.
+        """
+        if self._shardstore is not None:
+            row = self._shardstore.get(key)
+            if row is None:
+                return None
+            try:
+                return report_from_json(row["report"])
+            except (KeyError, TypeError, ValueError):
+                return None
+        if self._store is not None:
+            return self._read_legacy(key, rescan=True)
+        return None
+
+    def _read_legacy(self, key: str, *, rescan: bool) -> RunReport | None:
         span = self._persistent_spans.get(key)
-        if span is None or self._store is None:
+        if span is None:
             return None
+        row: Any = None
         try:
             with open(self._store.path, "rb") as handle:
                 handle.seek(span[0])
                 row = json.loads(handle.read(span[1]))
-            return report_from_json(row["report"])
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
-                KeyError, TypeError, ValueError):
-            # A truncated/replaced file behind our back: treat as a miss.
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            row = None
+        if isinstance(row, dict) and row.get("cache_key") == key:
+            try:
+                return report_from_json(row["report"])
+            except (KeyError, TypeError, ValueError):
+                self._persistent_spans.pop(key, None)
+                return None
+        # Stale or torn span (compaction/rewrite behind our back): rescan
+        # once and retry.  Never serve whatever row now occupies the span.
+        if not rescan:
             self._persistent_spans.pop(key, None)
             return None
+        self._persistent_spans = self._scan_spans()
+        return self._read_legacy(key, rescan=False)
 
     @property
     def path(self) -> str | None:
+        if self._shardstore is not None:
+            return self._shardstore.root
         return self._store.path if self._store is not None else None
 
     # ------------------------------------------------------------- tiers
@@ -194,7 +277,25 @@ class SolveCache:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
 
+    def _lookup_locked(self, key: str, require_certificate: bool, *,
+                       promote: bool) -> tuple[RunReport | None, str]:
+        """Local-tier lookup; caller holds the lock and does the counting."""
+        report = self._memory.get(key)
+        if report is not None and (report.certificate is not None
+                                   or not require_certificate):
+            if promote:
+                self._memory.move_to_end(key)
+            return report, "memory"
+        report = self._read_persistent(key)
+        if report is not None and (report.certificate is not None
+                                   or not require_certificate):
+            if promote:
+                self._memory_put(key, report)
+            return report, "persistent"
+        return None, "miss"
+
     def lookup(self, key: str, *, require_certificate: bool = False,
+               consult_peers: bool = True,
                ) -> tuple[RunReport | None, str]:
         """``(report, tier)`` for ``key``; ``(None, "miss")`` when absent.
 
@@ -202,24 +303,54 @@ class SolveCache:
         replayed verbatim) and promoted into the memory tier.
         ``require_certificate=True`` refuses entries stored by unverified
         solves, so a verifying caller never inherits an unchecked result.
+        When a ``peer_fetch`` hook is installed (fleet workers) a local
+        miss additionally asks the fleet -- outside the lock, since the
+        peer answering may itself need a cache lock to respond -- and a
+        fetched report is stored into both local tiers (tier ``"peer"``).
+        ``consult_peers=False`` suppresses that network hop.
         """
         with self._lock:
-            report = self._memory.get(key)
-            if report is not None and (report.certificate is not None
-                                       or not require_certificate):
-                self._memory.move_to_end(key)
+            report, tier = self._lookup_locked(key, require_certificate,
+                                               promote=True)
+            if report is not None:
                 self.stats.hits += 1
-                self.stats.memory_hits += 1
-                return report, "memory"
-            report = self._read_persistent(key)
-            if report is not None and (report.certificate is not None
-                                       or not require_certificate):
-                self._memory_put(key, report)
-                self.stats.hits += 1
-                self.stats.persistent_hits += 1
-                return report, "persistent"
+                if tier == "memory":
+                    self.stats.memory_hits += 1
+                else:
+                    self.stats.persistent_hits += 1
+                return report, tier
+        if consult_peers and self.peer_fetch is not None:
+            report = self._fetch_from_peer(key, require_certificate)
+            if report is not None:
+                with self._lock:
+                    self._memory_put(key, report)
+                    self._persist_locked(key, report)
+                    self.stats.hits += 1
+                    self.stats.peer_hits += 1
+                return report, "peer"
+        with self._lock:
             self.stats.misses += 1
-            return None, "miss"
+        return None, "miss"
+
+    def _fetch_from_peer(self, key: str,
+                         require_certificate: bool) -> RunReport | None:
+        """One guarded ``peer_fetch`` call; any failure is just a miss."""
+        try:
+            row = self.peer_fetch(key)
+        except Exception:
+            self.stats.peer_errors += 1
+            return None
+        if not isinstance(row, Mapping):
+            return None
+        try:
+            report = report_from_json(row["report"] if "report" in row
+                                      else row)
+        except (KeyError, TypeError, ValueError):
+            self.stats.peer_errors += 1
+            return None
+        if require_certificate and report.certificate is None:
+            return None
+        return report
 
     def get(self, key: str, *, require_certificate: bool = False,
             ) -> RunReport | None:
@@ -234,35 +365,35 @@ class SolveCache:
         (operators size the cache off that number) nor promote the polled
         key ahead of genuinely re-requested entries in the LRU.  A
         persistent-tier peek deserialises the row but does *not* promote
-        it into the memory tier.
+        it into the memory tier.  Peeks never consult fleet peers.
         """
         with self._lock:
-            report = self._memory.get(key)
-            if report is not None and (report.certificate is not None
-                                       or not require_certificate):
-                return report, "memory"
-            report = self._read_persistent(key)
-            if report is not None and (report.certificate is not None
-                                       or not require_certificate):
-                return report, "persistent"
-            return None, "miss"
+            return self._lookup_locked(key, require_certificate,
+                                       promote=False)
+
+    def _persist_locked(self, key: str, report: RunReport) -> None:
+        """Write one report row to the persistent tier (lock held)."""
+        if self._store is None and self._shardstore is None:
+            return
+        row = {
+            "cache_key": key,
+            "report": json.loads(report_to_json(report)),
+            "stored_at": round(time.time(), 3),
+        }
+        if self._shardstore is not None:
+            self._shardstore.put(key, row)
+        else:
+            # The span returned by append is measured under the store's
+            # file lock -- authoritative even with several processes
+            # appending, where getsize-then-append used to drift.
+            self._persistent_spans[key] = self._store.append(row)
 
     def put(self, key: str, report: RunReport) -> None:
         """Store a report in both tiers (last write wins on disk)."""
         with self._lock:
             self._memory_put(key, report)
             self.stats.puts += 1
-            if self._store is not None:
-                row = {
-                    "cache_key": key,
-                    "report": json.loads(report_to_json(report)),
-                    "stored_at": round(time.time(), 3),
-                }
-                offset = (os.path.getsize(self._store.path)
-                          if self._store.exists() else 0)
-                self._store.append(row)
-                length = os.path.getsize(self._store.path) - offset
-                self._persistent_spans[key] = (offset, length)
+            self._persist_locked(key, report)
 
     # ------------------------------------------------------- convenience
     def solve(self, graph: nx.Graph, problem_or_algorithm, *,
@@ -295,17 +426,52 @@ class SolveCache:
         and sizes only, no row materialisation.
         """
         with self._lock:
-            return {
+            summary = {
                 "memory_entries": len(self._memory),
-                "persistent_entries": len(self._persistent_spans),
+                "persistent_entries": self._persistent_len_locked(),
                 "hits": self.stats.hits,
                 "puts": self.stats.puts,
+                "peer_hits": self.stats.peer_hits,
                 "hit_rate": round(self.stats.hit_rate, 4),
+                "tier": ("sharded" if self._shardstore is not None
+                         else "legacy" if self._store is not None
+                         else "memory"),
             }
+            if self._shardstore is not None:
+                occupancy = self._shardstore.occupancy()
+                summary["persistent_bytes"] = sum(
+                    row["disk_bytes"] for row in occupancy)
+                summary["shards"] = [row["entries"] for row in occupancy]
+                counters = self._shardstore.counters()
+                summary["evictions"] = {
+                    "ttl": counters["evictions_ttl"],
+                    "lru": counters["evictions_lru"],
+                }
+            return summary
+
+    def _persistent_len_locked(self) -> int:
+        if self._shardstore is not None:
+            return len(self._shardstore)
+        return len(self._persistent_spans)
+
+    def shard_occupancy(self) -> list[dict[str, Any]]:
+        """Per-shard occupancy rows (empty for legacy/memory-only caches)."""
+        if self._shardstore is None:
+            return []
+        return self._shardstore.occupancy()
+
+    def store_counters(self) -> dict[str, int]:
+        """Sharded-store maintenance counters (empty otherwise)."""
+        if self._shardstore is None:
+            return {}
+        return self._shardstore.counters()
 
     # ------------------------------------------------------- maintenance
     def compact(self) -> tuple[int, int]:
         """Compact the persistent tier (see :meth:`ResultStore.compact`)."""
+        if self._shardstore is not None:
+            with self._lock:
+                return self._shardstore.compact()
         if self._store is None:
             return (0, 0)
         with self._lock:
@@ -315,5 +481,8 @@ class SolveCache:
 
     def __len__(self) -> int:
         with self._lock:
-            keys = set(self._memory) | set(self._persistent_spans)
+            if self._shardstore is not None:
+                keys = set(self._memory) | self._shardstore.keys()
+            else:
+                keys = set(self._memory) | set(self._persistent_spans)
             return len(keys)

@@ -420,6 +420,8 @@ class ServiceMetrics:
             return [
                 (("memory", "hit"), float(stats.memory_hits)),
                 (("persistent", "hit"), float(stats.persistent_hits)),
+                (("peer", "hit"), float(stats.peer_hits)),
+                (("peer", "error"), float(stats.peer_errors)),
                 (("any", "miss"), float(stats.misses)),
                 (("memory", "eviction"), float(stats.evictions)),
                 (("any", "put"), float(stats.puts)),
@@ -427,8 +429,43 @@ class ServiceMetrics:
 
         registry.counter_family(
             "repro_cache_events_total",
-            "Solve-cache lookups and mutations by tier and event.",
+            "Solve-cache lookups and mutations by tier and event "
+            "(tier peer counts fleet-shared warm fetches).",
             ("tier", "event"), _cache_samples)
+
+        def _shard_entry_samples():
+            return [((str(row["shard"]),), float(row["entries"]))
+                    for row in scheduler.cache.shard_occupancy()]
+
+        registry.gauge_family(
+            "repro_cache_shard_entries",
+            "Live rows per persistent-cache shard (sharded tier only).",
+            ("shard",), _shard_entry_samples)
+
+        def _shard_byte_samples():
+            samples = []
+            for row in scheduler.cache.shard_occupancy():
+                shard = str(row["shard"])
+                samples.append(((shard, "live"), float(row["live_bytes"])))
+                samples.append(((shard, "disk"), float(row["disk_bytes"])))
+            return samples
+
+        registry.gauge_family(
+            "repro_cache_shard_bytes",
+            "Bytes per persistent-cache shard: live rows vs on-disk "
+            "segment footprint (their gap is reclaimable by compaction).",
+            ("shard", "kind"), _shard_byte_samples)
+
+        def _store_event_samples():
+            return [((event,), float(count)) for event, count
+                    in sorted(scheduler.cache.store_counters().items())]
+
+        registry.counter_family(
+            "repro_cache_store_events_total",
+            "Sharded-store maintenance events: TTL/LRU evictions, "
+            "segment compactions/deletions, index rescans and "
+            "wrong-key span reads detected (and healed).",
+            ("event",), _store_event_samples)
 
         def _queue_samples():
             return [((str(shard),), float(queue.qsize()))

@@ -21,7 +21,11 @@ Pipeline (``submit``)
    one computation, the classic thundering-herd guard.
 4. **Admit** -- beyond ``max_pending`` queued jobs the request is refused
    with :class:`AdmissionError` (HTTP 429 at the server), keeping latency
-   bounded under overload instead of queueing unboundedly.
+   bounded under overload instead of queueing unboundedly.  With
+   ``admission_target_s`` set, admission is additionally wired to
+   *measured* per-shard service time: a request whose predicted wait on
+   its shard (queue depth x latency EWMA) exceeds the target is refused
+   early, so one slow shard sheds load while fast shards keep serving.
 5. **Dispatch** -- the job enters the priority queue of shard
    ``hash(key) % shards``; each shard has one consumer task feeding its own
    single-worker ``ProcessPoolExecutor``, so a given content address always
@@ -340,6 +344,7 @@ class SolveScheduler:
 
     def __init__(self, *, cache: SolveCache | None = None,
                  shards: int | None = None, max_pending: int = 256,
+                 admission_target_s: float | None = None,
                  inline: bool = False,
                  graph_memo_entries: int = 64,
                  metrics: ServiceMetrics | None | object = _AUTO_METRICS,
@@ -353,6 +358,17 @@ class SolveScheduler:
         (rendered by ``GET /metrics``); pass ``None`` to disable metric
         recording entirely -- the configuration the observability-overhead
         benchmark gate compares against.
+
+        ``admission_target_s`` switches admission control from purely
+        static (``max_pending``) to *measured*: each shard keeps an EWMA
+        of its recent job service time, and a request whose predicted
+        wait -- ``(queued jobs + running + this one) * ewma`` on its shard
+        -- exceeds the target is refused with :class:`AdmissionError`
+        even though slots remain.  A slow shard (huge graphs, cold cells)
+        therefore sheds load early instead of queueing work it cannot
+        finish in time, while fast shards keep admitting.  ``max_pending``
+        remains as the hard upper bound; ``None`` (the default) keeps the
+        historical static-only behaviour.
 
         ``tracing=False`` drops the span recorder: requests carrying an
         ``X-Repro-Trace`` context are still served identically but no
@@ -370,6 +386,11 @@ class SolveScheduler:
         self.shards = max(1, shards if shards is not None
                           else min(4, os.cpu_count() or 1))
         self.max_pending = max(1, int(max_pending))
+        self.admission_target_s = (None if admission_target_s is None
+                                   else max(0.0, float(admission_target_s)))
+        #: Per-shard EWMA of job service time (seconds); 0.0 until the
+        #: shard has completed its first job.
+        self.shard_latency_ewma_s: list[float] = [0.0] * self.shards
         self.inline = inline
         self._graph_memo: "dict[tuple[str, int], nx.Graph]" = {}
         self._graph_memo_order: deque[tuple[str, int]] = deque()
@@ -385,8 +406,8 @@ class SolveScheduler:
         self._closed = False
         self.counters: dict[str, int] = {
             "requests": 0, "hits": 0, "computed": 0, "coalesced": 0,
-            "rejected": 0, "errors": 0, "invalid": 0, "timeouts": 0,
-            "batch_jobs": 0,
+            "rejected": 0, "rejected_latency": 0, "errors": 0, "invalid": 0,
+            "timeouts": 0, "batch_jobs": 0,
         }
         self.latencies_s: deque[float] = deque(maxlen=4096)
         self.events = SolveEventBus()
@@ -545,9 +566,14 @@ class SolveScheduler:
                     parent_id=ctx.parent_id, name="scheduler.request",
                     service="serve", start_s=time.time() - latency,
                     duration_s=latency, status=span_status, attrs=attrs))
+        # The request shape (workload/config/seeds) rides along so a
+        # ``--log-json`` stream doubles as a replayable traffic trace for
+        # ``repro cache warm``.
         log_event("request", key=key, cell=cell,
                   algorithm=request.algorithm, status=status,
                   shard=shard, latency_ms=round(latency * 1e3, 3), tier=tier,
+                  workload=request.workload, graph_seed=request.graph_seed,
+                  seed=request.seed, config=request.config_dict,
                   **({"trace_id": trace_id} if trace_id else {}))
         return SolveResponse(report=report, key=key or "", status=status,
                              cell=cell or "", latency_s=latency, tier=tier,
@@ -583,8 +609,17 @@ class SolveScheduler:
                                  cell=cell)
             raise AdmissionError("scheduler is closed")
 
-        report, tier = self.cache.lookup(key,
-                                         require_certificate=request.verify)
+        if self.cache.peer_fetch is not None:
+            # The lookup may fan out to fleet peers (network I/O): keep
+            # it off the event loop so concurrent requests -- including
+            # microsecond memory hits -- are not stalled behind it.
+            report, tier = await loop.run_in_executor(
+                None, functools.partial(
+                    self.cache.lookup, key,
+                    require_certificate=request.verify))
+        else:
+            report, tier = self.cache.lookup(
+                key, require_certificate=request.verify)
         if report is not None:
             self.counters["hits"] += 1
             if request.stream:
@@ -614,16 +649,15 @@ class SolveScheduler:
 
         if not self._started:
             await self.start()
-        if self._pending >= self.max_pending:
+        shard = int(key, 16) % self.shards
+        refusal = self._check_admission(shard)
+        if refusal is not None:
             self.counters["rejected"] += 1
             self._finish_request(request, "rejected", start, key=key,
-                                 cell=cell)
-            raise AdmissionError(
-                f"scheduler saturated: {self._pending} pending jobs "
-                f"(max_pending={self.max_pending})")
+                                 cell=cell, shard=shard)
+            raise AdmissionError(refusal)
 
         future: asyncio.Future = loop.create_future()
-        shard = int(key, 16) % self.shards
         channel: EventChannel | None = None
         if request.stream:
             channel = self.events.open(key)
@@ -710,14 +744,27 @@ class SolveScheduler:
             self._finish_request(request, "invalid", start)
             raise
 
+        unique: list[tuple[int, str]] = []
+        seen_seeds: set[int] = set()
+        for seed, key in zip(seed_list, keys):
+            if seed in seen_seeds:
+                continue  # duplicate seed in the group: one computation
+            seen_seeds.add(seed)
+            unique.append((seed, key))
+        if self.cache.peer_fetch is not None:
+            # Peer-consulting lookups do network I/O: off the event loop.
+            lookups = await loop.run_in_executor(None, lambda: [
+                self.cache.lookup(key, require_certificate=request.verify)
+                for _, key in unique])
+        else:
+            lookups = [self.cache.lookup(key,
+                                         require_certificate=request.verify)
+                       for _, key in unique]
+
         responses: dict[int, SolveResponse] = {}
         miss_seeds: list[int] = []
         miss_keys: list[str] = []
-        for seed, key in zip(seed_list, keys):
-            if seed in responses or seed in miss_seeds:
-                continue  # duplicate seed in the group: one computation
-            report, tier = self.cache.lookup(
-                key, require_certificate=request.verify)
+        for (seed, key), (report, tier) in zip(unique, lookups):
             if report is not None:
                 self.counters["hits"] += 1
                 responses[seed] = self._finish_request(
@@ -730,14 +777,15 @@ class SolveScheduler:
         if miss_seeds:
             if not self._started:
                 await self.start()
-            if self._pending >= self.max_pending:
-                self.counters["rejected"] += len(miss_seeds)
-                self._finish_request(request, "rejected", start, cell=cell)
-                raise AdmissionError(
-                    f"scheduler saturated: {self._pending} pending jobs "
-                    f"(max_pending={self.max_pending})")
             shard = int(miss_keys[0], 16) % self.shards
+            refusal = self._check_admission(shard)
+            if refusal is not None:
+                self.counters["rejected"] += len(miss_seeds)
+                self._finish_request(request, "rejected", start, cell=cell,
+                                     shard=shard)
+                raise AdmissionError(refusal)
             self._pending += 1
+            job_started = time.perf_counter()
             try:
                 serialized = await loop.run_in_executor(
                     self._executors[shard], functools.partial(
@@ -754,6 +802,9 @@ class SolveScheduler:
                 raise
             finally:
                 self._pending -= 1
+                self._note_shard_latency(
+                    shard, (time.perf_counter() - job_started)
+                    / max(1, len(miss_seeds)))
             self.counters["batch_jobs"] += 1
             for seed, key, row in zip(miss_seeds, miss_keys, serialized):
                 report = report_from_json(row)
@@ -802,6 +853,52 @@ class SolveScheduler:
         })
         self.events.close(key)
 
+    # ----------------------------------------------------------- admission
+    #: EWMA smoothing for per-shard service time: recent jobs dominate
+    #: (a shard that just got slow sheds load within a few jobs) without
+    #: one outlier swinging the estimate.
+    _LATENCY_EWMA_ALPHA = 0.2
+
+    def _note_shard_latency(self, shard: int, seconds: float) -> None:
+        previous = self.shard_latency_ewma_s[shard]
+        if previous <= 0.0:
+            self.shard_latency_ewma_s[shard] = seconds
+        else:
+            alpha = self._LATENCY_EWMA_ALPHA
+            self.shard_latency_ewma_s[shard] = (
+                alpha * seconds + (1.0 - alpha) * previous)
+
+    def _predicted_wait_s(self, shard: int) -> float:
+        """Expected time for a new job on ``shard`` to *finish*: the jobs
+        queued ahead of it, the one running, and itself, each at the
+        shard's measured service time."""
+        ewma = self.shard_latency_ewma_s[shard]
+        depth = (self._queues[shard].qsize()
+                 if shard < len(self._queues) else 0)
+        return (depth + 2) * ewma
+
+    def _check_admission(self, shard: int | None = None) -> str | None:
+        """The reason this request must be refused, or ``None`` to admit.
+
+        The static ``max_pending`` bound always applies; with an
+        ``admission_target_s`` configured the request is additionally
+        refused when its shard's measured latency predicts a wait beyond
+        the target (see ``__init__``).
+        """
+        if self._pending >= self.max_pending:
+            return (f"scheduler saturated: {self._pending} pending jobs "
+                    f"(max_pending={self.max_pending})")
+        if shard is not None and self.admission_target_s is not None:
+            predicted = self._predicted_wait_s(shard)
+            if (self.shard_latency_ewma_s[shard] > 0.0
+                    and predicted > self.admission_target_s):
+                self.counters["rejected_latency"] += 1
+                return (f"shard {shard} overloaded: predicted wait "
+                        f"{predicted:.3f}s exceeds admission target "
+                        f"{self.admission_target_s:.3f}s (service-time "
+                        f"ewma {self.shard_latency_ewma_s[shard]:.3f}s)")
+        return None
+
     def record_timeout(self, request: SolveRequest | None = None) -> None:
         """Account one client-abandoned (504) request; thread-safe.
 
@@ -818,6 +915,7 @@ class SolveScheduler:
         while True:
             _, _, job = await queue.get()
             events_sink = pump = None
+            job_started = time.perf_counter()
             try:
                 events_sink, pump = self._job_event_plumbing(job, loop)
                 request = job.request
@@ -886,6 +984,8 @@ class SolveScheduler:
                     })
                     pump = None
             finally:
+                self._note_shard_latency(
+                    shard, time.perf_counter() - job_started)
                 self._pending -= 1
                 queue.task_done()
 
@@ -982,6 +1082,14 @@ class SolveScheduler:
             "pending": self._pending,
             "queue_depths": self.queue_depths(),
             "shards": self.shards,
+            "admission": {
+                "max_pending": self.max_pending,
+                "target_s": self.admission_target_s,
+                "rejected_latency": self.counters["rejected_latency"],
+                "shard_latency_ewma_ms": [
+                    round(1e3 * value, 3)
+                    for value in self.shard_latency_ewma_s],
+            },
             "inline_workers": self.inline,
             "live_streams": len(self.events.live_keys()),
             "tracing": (None if self.trace_recorder is None

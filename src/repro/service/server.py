@@ -27,6 +27,12 @@ Endpoints
     The cached report for a content address (404 when unknown).  Served
     through :meth:`SolveCache.peek`: polling this endpoint never inflates
     the cache hit rate nor reorders the LRU.
+``GET /cache/<key>``
+    The fleet-shared warm-read endpoint: identical payload to
+    ``/report/<key>`` (peek semantics, 404 on a miss) but reserved for
+    peers -- the coordinator fans a worker's miss out here so a node
+    inheriting remapped keys after membership churn starts warm.  Never
+    consults this server's own peers, so fleet lookups cannot recurse.
 ``GET /events/<key>``
     Server-sent events: one ``data: {json}`` frame per solve event
     (``queued`` / ``run_start`` / ``round`` / ``run_end`` / ``end``; see
@@ -227,7 +233,7 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
         def _route(self) -> str:
             """The path with identifiers stripped -- a bounded label set."""
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
-            for prefix in ("/report/", "/events/", "/trace/"):
+            for prefix in ("/report/", "/events/", "/trace/", "/cache/"):
                 if path.startswith(prefix):
                     return prefix.rstrip("/")
             return path
@@ -302,6 +308,23 @@ def _make_handler(service: ServiceServer, *, quiet: bool):
                 report, tier = service.scheduler.cache.peek(key)
                 if report is None:
                     self._send_error_json(404, f"unknown report key {key!r}")
+                else:
+                    self._send_json(200, {
+                        "key": key,
+                        "tier": tier,
+                        "report": json.loads(report_to_json(report)),
+                    })
+            elif path.startswith("/cache/"):
+                # The fleet-shared warm-read endpoint: peers (via the
+                # coordinator) fetch stored rows by content address so a
+                # worker inheriting remapped keys starts warm.  peek, and
+                # never consult our own peers: the asking peer decides
+                # what a miss means, and recursing through the fleet from
+                # here could loop.
+                key = path[len("/cache/"):]
+                report, tier = service.scheduler.cache.peek(key)
+                if report is None:
+                    self._send_error_json(404, f"no cached row for {key!r}")
                 else:
                     self._send_json(200, {
                         "key": key,
@@ -495,13 +518,34 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                              "a process pool (tests / constrained CI)")
     parser.add_argument("--max-pending", type=int, default=256,
                         help="admission limit on queued jobs (429 beyond)")
+    parser.add_argument("--admission-target", type=float, default=None,
+                        metavar="SECONDS", dest="admission_target",
+                        help="latency-aware admission: refuse a request "
+                             "when its shard's measured service time "
+                             "predicts a wait beyond SECONDS (default: "
+                             "static max_pending only)")
     parser.add_argument("--cache-path", default=None,
-                        help=f"persistent cache store "
+                        help=f"persistent cache store: a directory for the "
+                             f"sharded tier, or a .jsonl file for the "
+                             f"legacy single-file layout "
                              f"(default: {default_cache_path()})")
     parser.add_argument("--no-persist", action="store_true",
                         help="disable the persistent cache tier")
     parser.add_argument("--memory-entries", type=int, default=1024,
                         help="in-process LRU capacity (reports)")
+    parser.add_argument("--cache-shards", type=int, default=None,
+                        metavar="N",
+                        help="key shards of the sharded persistent tier "
+                             "(default: 8; ignored for .jsonl stores)")
+    parser.add_argument("--cache-budget-mb", type=float, default=None,
+                        metavar="MB",
+                        help="on-disk size budget of the sharded tier; "
+                             "TTL + LRU eviction keeps usage under it "
+                             "(default: unbounded)")
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="expire sharded-tier entries older than "
+                             "SECONDS (default: never)")
     parser.add_argument("--request-timeout", type=float,
                         default=_REQUEST_TIMEOUT_S,
                         help="seconds one HTTP request waits for its solve "
@@ -528,10 +572,27 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                         help="log every HTTP request")
 
 
+def build_cache_from_args(args: argparse.Namespace) -> SolveCache:
+    """The :class:`SolveCache` described by ``add_serve_arguments`` flags.
+
+    Shared by ``repro serve`` and ``repro fleet worker`` so both surfaces
+    accept the same sharded-tier knobs.
+    """
+    budget_mb = getattr(args, "cache_budget_mb", None)
+    cache_kwargs: dict[str, Any] = {}
+    if getattr(args, "cache_shards", None) is not None:
+        cache_kwargs["shards"] = args.cache_shards
+    if budget_mb is not None:
+        cache_kwargs["size_budget_bytes"] = int(budget_mb * 1024 * 1024)
+    if getattr(args, "cache_ttl", None) is not None:
+        cache_kwargs["ttl_s"] = args.cache_ttl
+    return SolveCache(
+        "" if getattr(args, "no_persist", False) else args.cache_path,
+        max_memory_entries=args.memory_entries, **cache_kwargs)
+
+
 def serve(args: argparse.Namespace) -> int:
-    cache = SolveCache(
-        "" if args.no_persist else args.cache_path,
-        max_memory_entries=args.memory_entries)
+    cache = build_cache_from_args(args)
     scheduler_kwargs: dict[str, Any] = {}
     if getattr(args, "no_metrics", False):
         scheduler_kwargs["metrics"] = None
@@ -539,6 +600,8 @@ def serve(args: argparse.Namespace) -> int:
         scheduler_kwargs["tracing"] = False
     scheduler = SolveScheduler(cache=cache, shards=args.shards,
                                max_pending=args.max_pending,
+                               admission_target_s=getattr(
+                                   args, "admission_target", None),
                                inline=args.inline_workers,
                                **scheduler_kwargs)
     log_handler = configure_json_logging(

@@ -749,3 +749,114 @@ class TestFleetFailureContainment:
                 assert worker.lease["ttl_s"] == 5.0
             finally:
                 worker.stop()
+
+
+# ---------------------------------------------------------------------------
+# Fleet-shared warm reads (membership churn)
+# ---------------------------------------------------------------------------
+
+class TestFleetWarmReads:
+    """A worker enrolling after churn serves remapped keys from peers."""
+
+    def test_late_enrollee_serves_remapped_keys_without_recomputing(self):
+        with FleetCoordinator(port=0, ttl_s=5.0) as coordinator:
+            veteran = _make_worker(coordinator.url, "veteran")
+            veteran.start()
+            rookie = None
+            try:
+                client = ServiceClient(coordinator.url, timeout=120)
+                client.wait_healthy(deadline_s=10)
+                computed = client.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                        seed=211)
+                assert computed["status"] == "computed"
+
+                # Membership churn: a cold worker enrolls after the fleet
+                # is warm.  Keys that re-hash onto it were computed by the
+                # veteran -- asking the rookie directly must serve them
+                # through the fleet-shared tier, not recompute.
+                rookie = _make_worker(coordinator.url, "rookie")
+                rookie.start()
+                direct = ServiceClient(rookie.server.url, timeout=120)
+                served = direct.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                      seed=211)
+                assert served["key"] == computed["key"]
+                assert served["status"] == "hit"
+                assert served["tier"] == "peer"
+                assert served["report"] == computed["report"]
+
+                scheduler = rookie.server.scheduler
+                assert scheduler.counters["computed"] == 0
+                assert scheduler.cache.stats.peer_hits == 1
+                assert rookie.warm_fetches == 1
+                assert rookie.warm_hits == 1
+                assert coordinator.counters["warm_fetches"] >= 1
+                assert coordinator.counters["warm_hits"] >= 1
+
+                # The fetched report is now in the rookie's *local* tiers:
+                # the next identical request never leaves the process.
+                again = direct.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                     seed=211)
+                assert again["tier"] == "memory"
+                assert rookie.warm_fetches == 1
+            finally:
+                if rookie is not None:
+                    rookie.stop()
+                veteran.stop()
+
+    def test_fleetwide_miss_is_a_clean_local_recompute(self):
+        with FleetCoordinator(port=0, ttl_s=5.0) as coordinator:
+            workers = [_make_worker(coordinator.url, f"wm{index}")
+                       for index in range(2)]
+            for worker in workers:
+                worker.start()
+            try:
+                direct = ServiceClient(workers[0].server.url, timeout=120)
+                row = direct.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                   seed=977)
+                # Nobody held the key: the peer hop answered 404 and the
+                # worker computed locally, with no peer-error accounting.
+                assert row["status"] == "computed"
+                cache = workers[0].server.scheduler.cache
+                assert cache.stats.peer_hits == 0
+                assert cache.stats.peer_errors == 0
+                assert workers[0].warm_fetches >= 1
+                assert workers[0].warm_hits == 0
+            finally:
+                for worker in workers:
+                    worker.stop()
+
+    def test_cache_route_404_for_unknown_key(self):
+        with FleetCoordinator(port=0, ttl_s=5.0) as coordinator:
+            worker = _make_worker(coordinator.url, "solo")
+            worker.start()
+            try:
+                client = ServiceClient(coordinator.url, timeout=30)
+                client.wait_healthy(deadline_s=10)
+                with pytest.raises(ServiceError) as excinfo:
+                    client.request("GET", "/cache/deadbeef")
+                assert excinfo.value.status == 404
+                # Excluding the only live worker leaves nobody to ask.
+                with pytest.raises(ServiceError) as excinfo:
+                    client.request("GET", "/cache/deadbeef?exclude=solo")
+                assert excinfo.value.status == 503
+            finally:
+                worker.stop()
+
+    def test_peer_warm_reads_can_be_disabled(self):
+        with FleetCoordinator(port=0, ttl_s=5.0) as coordinator:
+            scheduler = SolveScheduler(cache=SolveCache(""), inline=True,
+                                       shards=1)
+            worker = FleetWorker(coordinator.url, worker_id="loner", port=0,
+                                 scheduler=scheduler,
+                                 heartbeat_interval_s=0.2,
+                                 peer_warm_reads=False)
+            worker.start()
+            try:
+                assert scheduler.cache.peer_fetch is None
+                direct = ServiceClient(worker.server.url, timeout=120)
+                row = direct.solve(WORKLOAD, ALGORITHM, config=CONFIG,
+                                   seed=31)
+                assert row["status"] == "computed"
+                assert worker.warm_fetches == 0
+            finally:
+                worker.stop()
